@@ -1,0 +1,165 @@
+// Benchmark harness: one testing.B target per table/figure of the paper's
+// evaluation (see DESIGN.md Section 6). Each iteration regenerates the
+// experiment at quick scale; custom metrics expose the simulated results
+// so `go test -bench=.` doubles as a shape check against the paper.
+// cmd/lelantus-bench runs the same experiments at full scale.
+package lelantus
+
+import (
+	"testing"
+
+	"lelantus/internal/core"
+	"lelantus/internal/experiments"
+	"lelantus/internal/sim"
+	"lelantus/internal/workload"
+)
+
+func quickOpts() experiments.Options {
+	o := experiments.DefaultOptions()
+	o.Quick = true
+	o.MemBytes = 256 << 20
+	return o
+}
+
+func benchReport(b *testing.B, f func(experiments.Options) (*experiments.Report, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if _, err := f(quickOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2 regenerates the motivation write-amplification figure.
+func BenchmarkFig2(b *testing.B) { benchReport(b, experiments.Fig2) }
+
+// BenchmarkTableI regenerates the encoding-scheme comparison.
+func BenchmarkTableI(b *testing.B) { benchReport(b, experiments.TableI) }
+
+// BenchmarkFig9 regenerates the application speedup/write-reduction study,
+// one sub-benchmark per (workload, scheme, page size) cell with the
+// simulated time and NVM writes exposed as metrics.
+func BenchmarkFig9(b *testing.B) {
+	o := quickOpts()
+	for _, huge := range []bool{false, true} {
+		mode := "4KB"
+		if huge {
+			mode = "2MB"
+		}
+		for _, spec := range workload.Catalogue() {
+			var script workload.Script
+			if spec.Name == "forkbench" {
+				p := workload.DefaultForkbench(huge)
+				p.RegionBytes = 4 << 20
+				script = workload.Forkbench(p)
+			} else {
+				script = spec.Build(huge, o.Seed)
+			}
+			for _, s := range core.Schemes() {
+				b.Run(mode+"/"+spec.Name+"/"+s.String(), func(b *testing.B) {
+					var last sim.Result
+					for i := 0; i < b.N; i++ {
+						cfg := sim.DefaultConfig(s)
+						cfg.Mem.MemBytes = o.MemBytes
+						res, err := sim.RunWith(cfg, script)
+						if err != nil {
+							b.Fatal(err)
+						}
+						last = res
+					}
+					b.ReportMetric(float64(last.ExecNs), "sim-ns")
+					b.ReportMetric(float64(last.NVMWrites), "nvm-writes")
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates the overflow/CoW-cache/footprint diagnostics.
+func BenchmarkFig10(b *testing.B) { benchReport(b, experiments.Fig10) }
+
+// BenchmarkTableV regenerates the copy/init traffic-share table.
+func BenchmarkTableV(b *testing.B) { benchReport(b, experiments.TableV) }
+
+// BenchmarkFig11 regenerates the forkbench sensitivity sweep, one
+// sub-benchmark per page size.
+func BenchmarkFig11(b *testing.B) {
+	b.Run("4KB", func(b *testing.B) {
+		benchReport(b, func(o experiments.Options) (*experiments.Report, error) {
+			return experiments.Fig11(o, false)
+		})
+	})
+	b.Run("2MB", func(b *testing.B) {
+		benchReport(b, func(o experiments.Options) (*experiments.Report, error) {
+			return experiments.Fig11(o, true)
+		})
+	})
+}
+
+// BenchmarkFig12 regenerates the counter write-strategy study.
+func BenchmarkFig12(b *testing.B) { benchReport(b, experiments.Fig12) }
+
+// BenchmarkEngineReadLine measures the raw engine read path (cache-hot
+// counters), the per-access cost floor of the simulator itself.
+func BenchmarkEngineReadLine(b *testing.B) {
+	for _, s := range core.Schemes() {
+		b.Run(s.String(), func(b *testing.B) {
+			cfg := sim.DefaultConfig(s)
+			cfg.Mem.MemBytes = 64 << 20
+			m, err := sim.NewMachine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := m.Ctl.Store(0, 0x10000, []byte{1}); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := m.Ctl.Engine.ReadLine(0, 0x10000); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPageCopyCommand measures the metadata-only page_copy versus a
+// full 64-line copy — the microarchitectural heart of the paper.
+func BenchmarkPageCopyCommand(b *testing.B) {
+	b.Run("page_copy", func(b *testing.B) {
+		cfg := sim.DefaultConfig(core.Lelantus)
+		cfg.Mem.MemBytes = 64 << 20
+		m, err := sim.NewMachine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Ctl.Store(0, 4096, []byte{1}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst := uint64(2 + i%1000)
+			if _, err := m.Ctl.PageCopy(0, 1, dst); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full_copy", func(b *testing.B) {
+		cfg := sim.DefaultConfig(core.Baseline)
+		cfg.Mem.MemBytes = 64 << 20
+		m, err := sim.NewMachine(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := m.Ctl.Store(0, 4096, []byte{1}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			dst := uint64(2 + i%1000)
+			if _, err := m.Ctl.CopyPageFull(0, 1, dst, true); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,65 @@
+// Command lelantus-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	lelantus-bench                 # run every experiment (full size)
+//	lelantus-bench -exp fig9-4KB   # run one experiment
+//	lelantus-bench -quick          # reduced sizes (seconds, not minutes)
+//	lelantus-bench -list           # list experiment identifiers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"lelantus/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
+	quick := flag.Bool("quick", false, "use reduced workload sizes")
+	seed := flag.Int64("seed", 1, "workload generator seed")
+	memMB := flag.Uint64("mem", 512, "simulated NVM capacity in MiB")
+	list := flag.Bool("list", false, "list experiment identifiers and exit")
+	markdown := flag.Bool("markdown", false, "emit markdown tables (EXPERIMENTS.md form)")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		return
+	}
+
+	o := experiments.DefaultOptions()
+	o.Quick = *quick
+	o.Seed = *seed
+	o.MemBytes = *memMB << 20
+
+	start := time.Now()
+	var reports []*experiments.Report
+	var err error
+	if *exp == "all" {
+		reports, err = experiments.All(o)
+	} else {
+		var r *experiments.Report
+		r, err = experiments.ByID(o, *exp)
+		reports = []*experiments.Report{r}
+	}
+	for _, r := range reports {
+		if r == nil {
+			continue
+		}
+		if *markdown {
+			fmt.Println(r.Markdown())
+		} else {
+			fmt.Println(r)
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lelantus-bench: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("completed in %.1fs (host time)\n", time.Since(start).Seconds())
+}

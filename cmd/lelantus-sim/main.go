@@ -1,0 +1,134 @@
+// Command lelantus-sim runs one workload under one CoW scheme and prints
+// the detailed measurements of its measured phase.
+//
+// Usage:
+//
+//	lelantus-sim -workload forkbench -scheme lelantus
+//	lelantus-sim -workload redis -scheme baseline -huge
+//	lelantus-sim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"lelantus"
+	"lelantus/internal/trace"
+	"lelantus/internal/workload"
+)
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "lelantus-sim: %v\n", err)
+	os.Exit(1)
+}
+
+func main() {
+	wl := flag.String("workload", "forkbench", "workload name (see -list)")
+	schemeName := flag.String("scheme", "lelantus", "baseline | silent-shredder | lelantus | lelantus-cow")
+	huge := flag.Bool("huge", false, "use 2MB huge pages")
+	seed := flag.Int64("seed", 1, "workload generator seed")
+	memMB := flag.Uint64("mem", 512, "simulated NVM capacity in MiB")
+	compare := flag.Bool("compare", false, "also run the baseline and report speedup")
+	list := flag.Bool("list", false, "list workloads and exit")
+	record := flag.String("record", "", "write the workload script to this file and exit")
+	replay := flag.String("replay", "", "run a script recorded with -record instead of -workload")
+	disasm := flag.Bool("disasm", false, "print the first 40 ops of the script before running")
+	asJSON := flag.Bool("json", false, "emit the result as JSON instead of text")
+	flag.Parse()
+
+	if *list {
+		for _, spec := range lelantus.Workloads() {
+			fmt.Printf("%-10s %s\n", spec.Name, spec.Description)
+		}
+		return
+	}
+
+	scheme, err := lelantus.ParseScheme(*schemeName)
+	if err != nil {
+		fail(err)
+	}
+	var script workload.Script
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fail(err)
+		}
+		script, err = trace.Read(f)
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+	} else {
+		spec, err := lelantus.WorkloadByName(*wl)
+		if err != nil {
+			fail(err)
+		}
+		script = spec.Build(*huge, *seed)
+	}
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fail(err)
+		}
+		if err := trace.Write(f, script); err != nil {
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Printf("recorded %d ops to %s\n", len(script.Ops), *record)
+		return
+	}
+	if *disasm {
+		trace.Disassemble(os.Stdout, script, 40)
+	}
+	cfg := lelantus.DefaultConfig(scheme)
+	cfg.Mem.MemBytes = *memMB << 20
+
+	res, err := lelantus.RunWith(cfg, script)
+	if err != nil {
+		fail(err)
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(res); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	fmt.Printf("workload   %s\n", script.Name)
+	fmt.Printf("scheme     %v\n", scheme)
+	fmt.Printf("exec       %.3f ms (simulated)\n", float64(res.ExecNs)/1e6)
+	fmt.Printf("nvm        %d reads, %d writes\n", res.NVMReads, res.NVMWrites)
+	fmt.Printf("  data     %d reads, %d writes\n", res.Engine.DataReads, res.Engine.DataWrites)
+	fmt.Printf("  counters %d reads, %d writes\n", res.Engine.CtrReads, res.Engine.CtrWrites)
+	fmt.Printf("  cow-meta %d reads, %d writes\n", res.Engine.CoWMetaReads, res.Engine.CoWMetaWrite)
+	fmt.Printf("cpu        %d loads, %d stores\n", res.CPUReads, res.CPUWrites)
+	fmt.Printf("kernel     %d forks, %d CoW faults, %d zero faults, %d reuse faults\n",
+		res.Kernel.Forks, res.Kernel.CoWFaults, res.Kernel.ZeroFaults, res.Kernel.ReuseFaults)
+	fmt.Printf("commands   %d page_copy, %d page_phyc, %d page_free, %d page_init\n",
+		res.Engine.PageCopies, res.Engine.PagePhycs, res.Engine.PageFrees, res.Engine.PageInits)
+	fmt.Printf("cow        %d redirected reads (max chain %d), %d on-demand line copies, %d lines never copied\n",
+		res.Engine.Redirects, res.Engine.MaxChain, res.Engine.CopiedOnDemand, res.Engine.ElidedLines)
+	fmt.Printf("counters   %d overflows, ctr-cache miss %.2f%%, cow-cache miss %.2f%%\n",
+		res.CtrOverflows, 100*res.CtrMissRate, 100*res.CoWMissRate)
+	fmt.Printf("traffic    %.2f%% copy/init share\n", 100*res.CopyInitShare)
+
+	if *compare && scheme != lelantus.Baseline {
+		base, err := lelantus.RunWith(func() lelantus.Config {
+			c := lelantus.DefaultConfig(lelantus.Baseline)
+			c.Mem.MemBytes = *memMB << 20
+			return c
+		}(), script)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("vs-baseline speedup %.2fx, writes cut to %.2f%%\n",
+			res.SpeedupVs(base), 100*res.WriteReductionVs(base))
+	}
+}

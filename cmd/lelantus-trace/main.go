@@ -1,0 +1,88 @@
+// Command lelantus-trace visualises the page-access footprints behind
+// Fig. 10c/10d: it runs forkbench with footprint tracking and renders each
+// CoW destination page as a 64-character strip — '#' for a touched
+// cacheline, '.' for an untouched one. Under the Baseline every page is
+// solid (the copy touches all 64 lines); under Lelantus only the lines the
+// child actually wrote appear.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"lelantus"
+	"lelantus/internal/workload"
+)
+
+func main() {
+	schemeName := flag.String("scheme", "lelantus", "baseline | silent-shredder | lelantus | lelantus-cow")
+	pages := flag.Int("pages", 16, "number of CoW destination pages to render")
+	bytesPerPage := flag.Uint64("bytes", 32, "bytes the child updates per page")
+	flag.Parse()
+
+	scheme, err := lelantus.ParseScheme(*schemeName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lelantus-trace: %v\n", err)
+		os.Exit(1)
+	}
+
+	cfg := lelantus.DefaultConfig(scheme)
+	cfg.Mem.MemBytes = 256 << 20
+	cfg.Kernel.TrackFootprints = true
+	m, err := lelantus.NewMachine(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lelantus-trace: %v\n", err)
+		os.Exit(1)
+	}
+
+	script := workload.Forkbench(workload.ForkbenchParams{
+		RegionBytes:  4 << 20,
+		BytesPerUnit: *bytesPerPage,
+		ChildExits:   true,
+	})
+	if _, err := m.Run(script); err != nil {
+		fmt.Fprintf(os.Stderr, "lelantus-trace: %v\n", err)
+		os.Exit(1)
+	}
+
+	fps := m.Ctl.Engine.Footprints()
+	pfns := make([]uint64, 0, len(fps))
+	for pfn := range fps {
+		pfns = append(pfns, pfn)
+	}
+	sort.Slice(pfns, func(i, j int) bool { return pfns[i] < pfns[j] })
+
+	fmt.Printf("CoW destination page footprints under %v (%d tracked pages, showing %d)\n",
+		scheme, len(pfns), min(*pages, len(pfns)))
+	fmt.Println("each row is one 4KB page; '#' = cacheline touched, '.' = untouched")
+	total := 0
+	for i, pfn := range pfns {
+		mask := fps[pfn]
+		if i < *pages {
+			row := make([]byte, 64)
+			for li := 0; li < 64; li++ {
+				if mask&(1<<uint(li)) != 0 {
+					row[li] = '#'
+				} else {
+					row[li] = '.'
+				}
+			}
+			fmt.Printf("pfn %#08x  %s\n", pfn, row)
+		}
+		for m := mask; m != 0; m &= m - 1 {
+			total++
+		}
+	}
+	if len(pfns) > 0 {
+		fmt.Printf("average lines touched per page: %.1f of 64\n", float64(total)/float64(len(pfns)))
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,64 @@
+// Forkbench sensitivity: the paper's Section V-D experiment as a runnable
+// example. Sweeps the number of bytes the child updates per page and
+// prints speedup and write reduction for every scheme versus the Baseline
+// (the data behind Fig. 11).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"lelantus"
+)
+
+func main() {
+	huge := flag.Bool("huge", false, "use 2MB huge pages")
+	region := flag.Uint64("region", 16<<20, "region size in bytes")
+	flag.Parse()
+
+	sweep := []uint64{1, 8, 64, 512, 4096}
+	if *huge {
+		sweep = []uint64{1, 64, 4096, 32768, 2 << 20}
+	}
+
+	mode := "4KB"
+	if *huge {
+		mode = "2MB"
+	}
+	fmt.Printf("forkbench sweep, %s pages, %d MB region\n", mode, *region>>20)
+	fmt.Printf("%12s %28s %28s\n", "", "speedup vs baseline", "writes vs baseline")
+	fmt.Printf("%12s %9s %9s %9s %9s %9s %9s\n", "bytes/page",
+		"shredder", "lelantus", "lel-cow", "shredder", "lelantus", "lel-cow")
+
+	for _, bytes := range sweep {
+		params := lelantus.ForkbenchParams{
+			RegionBytes:  *region,
+			BytesPerUnit: bytes,
+			Huge:         *huge,
+			ChildExits:   true,
+		}
+		script := lelantus.Forkbench(params)
+		base, err := lelantus.Run(lelantus.Baseline, script)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row := fmt.Sprintf("%12d", bytes)
+		var speeds, writes []float64
+		for _, s := range []lelantus.Scheme{lelantus.SilentShredder, lelantus.Lelantus, lelantus.LelantusCoW} {
+			res, err := lelantus.Run(s, script)
+			if err != nil {
+				log.Fatal(err)
+			}
+			speeds = append(speeds, res.SpeedupVs(base))
+			writes = append(writes, 100*res.WriteReductionVs(base))
+		}
+		for _, v := range speeds {
+			row += fmt.Sprintf(" %8.2fx", v)
+		}
+		for _, v := range writes {
+			row += fmt.Sprintf(" %8.1f%%", v)
+		}
+		fmt.Println(row)
+	}
+}

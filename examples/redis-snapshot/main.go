@@ -1,0 +1,84 @@
+// Redis-snapshot: builds the paper's Redis bgsave scenario from scratch
+// with the public script builder — a key-value store forks a persistence
+// child that scans the whole dataset while the parent keeps absorbing
+// writes on CoW-shared pages — and compares all four schemes.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"lelantus"
+)
+
+const (
+	dataMB   = 8
+	requests = 8000
+	lineSize = 64
+)
+
+// buildSnapshot scripts the scenario: load, fork, then interleave the
+// child's sequential persist scan with the parent's set/get stream.
+func buildSnapshot(huge bool, seed int64) lelantus.Script {
+	rng := rand.New(rand.NewSource(seed))
+	b := lelantus.NewScript("redis-snapshot")
+	const parent, child = 0, 1
+	dataBytes := uint64(dataMB << 20)
+	lines := dataBytes / lineSize
+
+	b.Spawn(parent)
+	b.Mmap(parent, 0, dataBytes, huge)
+	for off := uint64(0); off < dataBytes; off += lineSize {
+		b.Store(parent, 0, off, lineSize, 0x6B) // load the keyspace
+	}
+
+	b.Fork(parent, child) // BGSAVE
+	b.BeginMeasure()
+	chunk := lines / requests
+	if chunk == 0 {
+		chunk = 1
+	}
+	scan := uint64(0)
+	for i := 0; i < requests; i++ {
+		for j := uint64(0); j < chunk && scan < dataBytes; j++ {
+			b.Load(child, 0, scan, 32) // child persists sequentially
+			scan += lineSize
+		}
+		off := (rng.Uint64() % lines) * lineSize
+		if i%2 == 0 {
+			b.Store(parent, 0, off, 48, byte(i)) // SET
+		} else {
+			b.Load(parent, 0, off, 48) // GET
+		}
+	}
+	for ; scan < dataBytes; scan += lineSize {
+		b.Load(child, 0, scan, 32)
+	}
+	b.EndMeasure()
+	b.Exit(child)
+	b.Exit(parent)
+	return b.Script()
+}
+
+func main() {
+	script := buildSnapshot(false, 42)
+	fmt.Printf("redis snapshot: %d MB dataset, %d requests during BGSAVE\n\n", dataMB, requests)
+	fmt.Printf("%-16s %10s %12s %10s %9s\n", "scheme", "exec(ms)", "nvm-writes", "speedup", "writes%")
+
+	var base lelantus.Result
+	for i, s := range lelantus.Schemes() {
+		res, err := lelantus.Run(s, script)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			base = res
+		}
+		fmt.Printf("%-16v %10.2f %12d %9.2fx %8.1f%%\n",
+			s, float64(res.ExecNs)/1e6, res.NVMWrites,
+			res.SpeedupVs(base), 100*res.WriteReductionVs(base))
+	}
+	fmt.Println("\nthe parent's request latency is dominated by CoW faults during the")
+	fmt.Println("scan; Lelantus turns each 4KB copy into one page_copy command.")
+}

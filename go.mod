@@ -1,0 +1,3 @@
+module lelantus
+
+go 1.22

@@ -1,0 +1,308 @@
+// Package cache models the on-chip cache hierarchy (Table III: 64 KB L1,
+// 512 KB L2, 8 MB L3; 8-way; LRU; 64 B lines). L1 and L2 are tag-only and
+// contribute latency and hit statistics; the inclusive L3 holds the actual
+// line data and produces the dirty write-backs that reach the secure memory
+// controller. Page-granularity flush and invalidate mirror the clwb/clflush
+// sequences the kernel issues around CoW commands (paper Section IV-B).
+package cache
+
+import "lelantus/internal/mem"
+
+// Victim describes a line evicted from the data level.
+type Victim struct {
+	LineAddr uint64
+	Dirty    bool
+	Data     [mem.LineBytes]byte
+}
+
+type line struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	tick  uint64
+	data  *[mem.LineBytes]byte
+}
+
+// Level is one set-associative cache level.
+type Level struct {
+	name      string
+	sets      uint64
+	ways      int
+	latency   uint64 // ns charged when the lookup reaches this level
+	holdsData bool
+	lines     []line
+	tick      uint64
+
+	Hits, Misses uint64
+}
+
+// NewLevel builds a level of sizeBytes capacity with the given
+// associativity. Only the data level (L3) materialises line contents.
+func NewLevel(name string, sizeBytes uint64, ways int, latencyNs uint64, holdsData bool) *Level {
+	sets := sizeBytes / mem.LineBytes / uint64(ways)
+	if sets == 0 {
+		sets = 1
+	}
+	return &Level{
+		name:      name,
+		sets:      sets,
+		ways:      ways,
+		latency:   latencyNs,
+		holdsData: holdsData,
+		lines:     make([]line, sets*uint64(ways)),
+	}
+}
+
+func (l *Level) set(lineAddr uint64) []line {
+	s := (lineAddr >> mem.LineShift) % l.sets
+	return l.lines[s*uint64(l.ways) : (s+1)*uint64(l.ways)]
+}
+
+// Lookup probes for a line; on hit it refreshes LRU state and optionally
+// marks the line dirty.
+func (l *Level) Lookup(lineAddr uint64, makeDirty bool) bool {
+	l.tick++
+	set := l.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].tick = l.tick
+			if makeDirty {
+				set[i].dirty = true
+			}
+			l.Hits++
+			return true
+		}
+	}
+	l.Misses++
+	return false
+}
+
+// Peek probes without touching LRU or statistics.
+func (l *Level) Peek(lineAddr uint64) bool {
+	set := l.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return true
+		}
+	}
+	return false
+}
+
+// Data returns a pointer to the cached copy of the line, or nil.
+func (l *Level) Data(lineAddr uint64) *[mem.LineBytes]byte {
+	set := l.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			return set[i].data
+		}
+	}
+	return nil
+}
+
+// Insert fills the line, evicting the LRU way if the set is full. The
+// victim (with its data if this level holds data) is returned so the caller
+// can write dirty lines back and maintain inclusion.
+func (l *Level) Insert(lineAddr uint64, dirty bool, data *[mem.LineBytes]byte) (victim Victim, evicted bool) {
+	l.tick++
+	set := l.set(lineAddr)
+	// Already present (e.g. refill racing an earlier insert): update.
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].tick = l.tick
+			set[i].dirty = set[i].dirty || dirty
+			if l.holdsData && data != nil {
+				if set[i].data == nil {
+					set[i].data = new([mem.LineBytes]byte)
+				}
+				*set[i].data = *data
+			}
+			return Victim{}, false
+		}
+	}
+	pick := -1
+	for i := range set {
+		if !set[i].valid {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		pick = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].tick < set[pick].tick {
+				pick = i
+			}
+		}
+		victim.LineAddr = set[pick].tag
+		victim.Dirty = set[pick].dirty
+		if set[pick].data != nil {
+			victim.Data = *set[pick].data
+		}
+		evicted = true
+	}
+	set[pick] = line{tag: lineAddr, valid: true, dirty: dirty, tick: l.tick}
+	if l.holdsData {
+		set[pick].data = new([mem.LineBytes]byte)
+		if data != nil {
+			*set[pick].data = *data
+		}
+	}
+	return victim, evicted
+}
+
+// Invalidate drops the line if present, returning its state.
+func (l *Level) Invalidate(lineAddr uint64) (victim Victim, present bool) {
+	set := l.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			victim.LineAddr = lineAddr
+			victim.Dirty = set[i].dirty
+			if set[i].data != nil {
+				victim.Data = *set[i].data
+			}
+			set[i] = line{}
+			return victim, true
+		}
+	}
+	return Victim{}, false
+}
+
+// Clean clears the dirty bit of a line (after an explicit write-back).
+func (l *Level) Clean(lineAddr uint64) {
+	set := l.set(lineAddr)
+	for i := range set {
+		if set[i].valid && set[i].tag == lineAddr {
+			set[i].dirty = false
+		}
+	}
+}
+
+// Config parameterises the three-level hierarchy.
+type Config struct {
+	L1Bytes, L2Bytes, L3Bytes uint64
+	Ways                      int
+	L1Ns, L2Ns, L3Ns          uint64
+}
+
+// DefaultConfig mirrors Table III (latencies in ns at 1 GHz: 2/8/25 cycles).
+func DefaultConfig() Config {
+	return Config{
+		L1Bytes: 64 << 10, L2Bytes: 512 << 10, L3Bytes: 8 << 20,
+		Ways: 8,
+		L1Ns: 2, L2Ns: 8, L3Ns: 25,
+	}
+}
+
+// Hierarchy is the inclusive three-level hierarchy. Line data lives in L3.
+type Hierarchy struct {
+	L1, L2, L3 *Level
+}
+
+// NewHierarchy builds the hierarchy from the configuration.
+func NewHierarchy(cfg Config) *Hierarchy {
+	return &Hierarchy{
+		L1: NewLevel("L1", cfg.L1Bytes, cfg.Ways, cfg.L1Ns, false),
+		L2: NewLevel("L2", cfg.L2Bytes, cfg.Ways, cfg.L2Ns, false),
+		L3: NewLevel("L3", cfg.L3Bytes, cfg.Ways, cfg.L3Ns, true),
+	}
+}
+
+// Access performs a load or store probe. On a full miss the caller must
+// fetch the line from memory and call Fill. The returned latency covers the
+// levels traversed; missToMem reports whether memory must be consulted.
+func (h *Hierarchy) Access(lineAddr uint64, write bool) (latencyNs uint64, missToMem bool) {
+	latencyNs = h.L1.latency
+	if h.L1.Lookup(lineAddr, write) {
+		if write {
+			// Keep the data level's copy authoritative and dirty.
+			h.L3.Lookup(lineAddr, true)
+		}
+		return latencyNs, false
+	}
+	latencyNs += h.L2.latency
+	if h.L2.Lookup(lineAddr, write) {
+		h.L1.Insert(lineAddr, false, nil)
+		if write {
+			h.L3.Lookup(lineAddr, true)
+		}
+		return latencyNs, false
+	}
+	latencyNs += h.L3.latency
+	if h.L3.Lookup(lineAddr, write) {
+		h.L1.Insert(lineAddr, false, nil)
+		h.L2.Insert(lineAddr, false, nil)
+		return latencyNs, false
+	}
+	return latencyNs, true
+}
+
+// Fill installs a line fetched from memory into all levels and returns any
+// dirty L3 victim that must be written back. Inclusion is maintained by
+// back-invalidating victims from L1/L2.
+func (h *Hierarchy) Fill(lineAddr uint64, dirty bool, data *[mem.LineBytes]byte) (wb Victim, needWB bool) {
+	h.L1.Insert(lineAddr, false, nil)
+	h.L2.Insert(lineAddr, false, nil)
+	v, evicted := h.L3.Insert(lineAddr, dirty, data)
+	if evicted {
+		h.L1.Invalidate(v.LineAddr)
+		h.L2.Invalidate(v.LineAddr)
+		if v.Dirty {
+			return v, true
+		}
+	}
+	return Victim{}, false
+}
+
+// Data exposes the authoritative cached copy of a line (nil if not cached).
+func (h *Hierarchy) Data(lineAddr uint64) *[mem.LineBytes]byte {
+	return h.L3.Data(lineAddr)
+}
+
+// Cached reports whether the line is resident on chip.
+func (h *Hierarchy) Cached(lineAddr uint64) bool { return h.L3.Peek(lineAddr) }
+
+// MarkDirty flags a resident line dirty (store hit path helper).
+func (h *Hierarchy) MarkDirty(lineAddr uint64) { h.L3.Lookup(lineAddr, true) }
+
+// FlushPage writes back and invalidates every resident line of the 4 KB
+// page, returning the dirty lines in page order. This models the kernel's
+// cache flush of a source page before write-protecting it.
+func (h *Hierarchy) FlushPage(pfn uint64) []Victim {
+	var dirty []Victim
+	for i := 0; i < mem.LinesPerPage; i++ {
+		la := mem.LineAddr(pfn, i)
+		h.L1.Invalidate(la)
+		h.L2.Invalidate(la)
+		if v, present := h.L3.Invalidate(la); present && v.Dirty {
+			dirty = append(dirty, v)
+		}
+	}
+	return dirty
+}
+
+// InvalidatePage drops every resident line of the page without write-back,
+// modelling the invalidation of a freshly allocated destination page.
+func (h *Hierarchy) InvalidatePage(pfn uint64) {
+	for i := 0; i < mem.LinesPerPage; i++ {
+		la := mem.LineAddr(pfn, i)
+		h.L1.Invalidate(la)
+		h.L2.Invalidate(la)
+		h.L3.Invalidate(la)
+	}
+}
+
+// DrainDirty writes back every dirty line (end-of-run accounting), calling
+// sink for each. Lines remain resident but clean.
+func (h *Hierarchy) DrainDirty(sink func(Victim)) {
+	for i := range h.L3.lines {
+		ln := &h.L3.lines[i]
+		if ln.valid && ln.dirty {
+			v := Victim{LineAddr: ln.tag, Dirty: true}
+			if ln.data != nil {
+				v.Data = *ln.data
+			}
+			ln.dirty = false
+			sink(v)
+		}
+	}
+}

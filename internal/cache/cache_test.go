@@ -1,0 +1,181 @@
+package cache
+
+import (
+	"testing"
+
+	"lelantus/internal/mem"
+)
+
+func smallConfig() Config {
+	return Config{
+		L1Bytes: 1 << 10, L2Bytes: 2 << 10, L3Bytes: 4 << 10,
+		Ways: 2,
+		L1Ns: 2, L2Ns: 8, L3Ns: 25,
+	}
+}
+
+func lineData(v byte) *[mem.LineBytes]byte {
+	var d [mem.LineBytes]byte
+	for i := range d {
+		d[i] = v
+	}
+	return &d
+}
+
+func TestAccessMissThenHit(t *testing.T) {
+	h := NewHierarchy(smallConfig())
+	lat, miss := h.Access(0x1000, false)
+	if !miss {
+		t.Fatal("cold access must miss")
+	}
+	if lat != 2+8+25 {
+		t.Fatalf("miss latency = %d, want 35", lat)
+	}
+	h.Fill(0x1000, false, lineData(1))
+	lat, miss = h.Access(0x1000, false)
+	if miss || lat != 2 {
+		t.Fatalf("L1 hit: miss=%v lat=%d", miss, lat)
+	}
+}
+
+func TestStoreDirtiesDataLevel(t *testing.T) {
+	h := NewHierarchy(smallConfig())
+	h.Fill(0x40, false, lineData(7))
+	if _, miss := h.Access(0x40, true); miss {
+		t.Fatal("store should hit after fill")
+	}
+	var found bool
+	h.DrainDirty(func(v Victim) {
+		if v.LineAddr == 0x40 {
+			found = true
+			if v.Data[0] != 7 {
+				t.Fatalf("drained data = %#x, want 7", v.Data[0])
+			}
+		}
+	})
+	if !found {
+		t.Fatal("dirty line not drained")
+	}
+}
+
+func TestEvictionWritesBackDirty(t *testing.T) {
+	h := NewHierarchy(smallConfig())
+	// L3: 4KB/64B/2 ways = 32 sets. Fill one set (2 ways) plus one more.
+	setStride := uint64(32 * mem.LineBytes)
+	a, b, c := uint64(0), setStride*1000, setStride*2000 // hmm: same set needs same index
+	_ = a
+	// Use addresses with identical set index: index = (addr>>6) % 32.
+	a = 0
+	b = 32 * mem.LineBytes
+	c = 64 * mem.LineBytes
+	h.Fill(a, true, lineData(1))
+	h.Fill(b, true, lineData(2))
+	wb, need := h.Fill(c, true, lineData(3))
+	if !need {
+		t.Fatal("third fill into a 2-way set must evict a dirty line")
+	}
+	if wb.LineAddr != a {
+		t.Fatalf("LRU victim = %#x, want %#x", wb.LineAddr, a)
+	}
+	if wb.Data[0] != 1 {
+		t.Fatalf("victim data = %d, want 1", wb.Data[0])
+	}
+}
+
+func TestInclusionBackInvalidate(t *testing.T) {
+	h := NewHierarchy(smallConfig())
+	a := uint64(0)
+	b := uint64(32 * mem.LineBytes)
+	c := uint64(64 * mem.LineBytes)
+	h.Fill(a, false, lineData(1))
+	h.Access(a, false) // promote into L1/L2
+	h.Fill(b, false, lineData(2))
+	h.Fill(c, false, lineData(3)) // evicts a from L3
+	if h.L1.Peek(a) || h.L2.Peek(a) {
+		t.Fatal("inclusion violated: L3 victim still present in L1/L2")
+	}
+}
+
+func TestLRUOrder(t *testing.T) {
+	h := NewHierarchy(smallConfig())
+	a := uint64(0)
+	b := uint64(32 * mem.LineBytes)
+	c := uint64(64 * mem.LineBytes)
+	h.Fill(a, false, lineData(1))
+	h.Fill(b, false, lineData(2))
+	h.L3.Lookup(a, false) // make b the L3 LRU way
+	wb, evicted := h.L3.Insert(c, false, lineData(3))
+	if !evicted || wb.LineAddr != b {
+		t.Fatalf("victim = %#x (evicted=%v), want %#x", wb.LineAddr, evicted, b)
+	}
+}
+
+func TestFlushPage(t *testing.T) {
+	h := NewHierarchy(smallConfig())
+	pfn := uint64(3)
+	h.Fill(mem.LineAddr(pfn, 0), true, lineData(1))
+	h.Fill(mem.LineAddr(pfn, 1), false, lineData(2))
+	dirty := h.FlushPage(pfn)
+	if len(dirty) != 1 || dirty[0].LineAddr != mem.LineAddr(pfn, 0) {
+		t.Fatalf("FlushPage dirty = %+v", dirty)
+	}
+	if h.Cached(mem.LineAddr(pfn, 0)) || h.Cached(mem.LineAddr(pfn, 1)) {
+		t.Fatal("flush must invalidate all lines of the page")
+	}
+}
+
+func TestInvalidatePageDropsDirty(t *testing.T) {
+	h := NewHierarchy(smallConfig())
+	pfn := uint64(5)
+	h.Fill(mem.LineAddr(pfn, 2), true, lineData(9))
+	h.InvalidatePage(pfn)
+	count := 0
+	h.DrainDirty(func(Victim) { count++ })
+	if count != 0 {
+		t.Fatal("InvalidatePage must drop dirty lines without write-back")
+	}
+}
+
+func TestDataPointerIsAuthoritative(t *testing.T) {
+	h := NewHierarchy(smallConfig())
+	h.Fill(0x80, false, lineData(4))
+	d := h.Data(0x80)
+	if d == nil || d[0] != 4 {
+		t.Fatal("Data must expose the cached line")
+	}
+	d[5] = 99
+	h.MarkDirty(0x80)
+	var got byte
+	h.DrainDirty(func(v Victim) {
+		if v.LineAddr == 0x80 {
+			got = v.Data[5]
+		}
+	})
+	if got != 99 {
+		t.Fatal("in-place mutation through Data must be visible at write-back")
+	}
+}
+
+func TestFillUpdatesExisting(t *testing.T) {
+	h := NewHierarchy(smallConfig())
+	h.Fill(0xC0, false, lineData(1))
+	h.Fill(0xC0, true, lineData(2))
+	if d := h.Data(0xC0); d == nil || d[0] != 2 {
+		t.Fatal("refill must update data in place")
+	}
+	dirty := false
+	h.DrainDirty(func(v Victim) { dirty = dirty || v.LineAddr == 0xC0 })
+	if !dirty {
+		t.Fatal("refill with dirty=true must keep the line dirty")
+	}
+}
+
+func TestHitStats(t *testing.T) {
+	h := NewHierarchy(smallConfig())
+	h.Access(0, false)
+	h.Fill(0, false, lineData(0))
+	h.Access(0, false)
+	if h.L1.Misses != 1 || h.L1.Hits != 1 {
+		t.Fatalf("L1 hits=%d misses=%d", h.L1.Hits, h.L1.Misses)
+	}
+}

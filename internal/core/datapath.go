@@ -1,0 +1,274 @@
+package core
+
+import (
+	"lelantus/internal/ctr"
+	"lelantus/internal/mem"
+)
+
+// zeroLine is the all-zeros plaintext returned for zero-encoded and
+// never-written lines.
+var zeroLine [mem.LineBytes]byte
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// resolve follows the CoW metadata from the requested line to the line that
+// actually holds its data (paper Fig. 6), fetches and decrypts it, and
+// returns the plaintext. Recursive copy chains (Section III-E) are walked
+// until a materialised line, a zero encoding, or a never-written line is
+// found.
+func (e *Engine) resolve(now, lineAddr uint64) ([mem.LineBytes]byte, uint64, error) {
+	cur := lineAddr
+	blk, t, err := e.loadBlock(now, mem.PageOf(cur))
+	if err != nil {
+		return zeroLine, t, err
+	}
+	hops := 0
+	for {
+		curPfn := mem.PageOf(cur)
+		i := mem.LineIndex(cur)
+		redirected := false
+		switch e.cfg.Scheme {
+		case Lelantus:
+			if blk.CoW && blk.Minor[i] == 0 {
+				cur = mem.LineAddr(blk.Src, i)
+				redirected = true
+			}
+		case LelantusCoW:
+			if blk.Minor[i] == 0 {
+				src, ok, tc := e.lookupCoW(t, curPfn)
+				t = tc
+				if !ok {
+					// Zero minor with no mapping: a fresh (page_init) or
+					// never-encrypted line — fresh memory reads as zeros.
+					e.Stats.ZeroReads++
+					return zeroLine, t, nil
+				}
+				cur = mem.LineAddr(src, i)
+				redirected = true
+			}
+		case SilentShredder:
+			if blk.Minor[i] == 0 {
+				e.Stats.ZeroReads++
+				return zeroLine, t, nil
+			}
+		}
+		if !redirected {
+			break
+		}
+		hops++
+		if blk, t, err = e.loadBlock(t, mem.PageOf(cur)); err != nil {
+			return zeroLine, t, err
+		}
+	}
+	if hops > 0 {
+		e.Stats.Redirects++
+		e.Stats.ChainHops += uint64(hops)
+		if hops > e.Stats.MaxChain {
+			e.Stats.MaxChain = hops
+		}
+	}
+
+	lineNo := mem.LineNo(cur)
+	i := mem.LineIndex(cur)
+	if !e.written[lineNo] {
+		// The line was never encrypted to NVM (e.g. the shared zero frame):
+		// its plaintext is zeros. The fetch is still charged — the device
+		// does not know the content is dead.
+		t = e.Mem.Read(t, cur)
+		e.Stats.DataReads++
+		e.Stats.ZeroReads++
+		return zeroLine, t, nil
+	}
+	var ciph [mem.LineBytes]byte
+	e.Phys.ReadLine(cur, &ciph)
+	fetchDone := e.Mem.Read(t, cur)
+	e.Stats.DataReads++
+	if e.cfg.NonSecure {
+		// Plaintext at rest: no pad, no MAC (paper Section III-G).
+		return ciph, fetchDone, nil
+	}
+	// OTP generation overlaps the data fetch (paper Fig. 1).
+	done := maxU64(fetchDone, t+e.cfg.AESLatencyNs)
+	if err := e.MACs.Verify(lineNo, ciph[:], blk.Major, blk.Minor[i]); err != nil {
+		return zeroLine, done, err
+	}
+	plain := e.Enc.Decrypt(&ciph, lineNo, blk.Major, blk.Minor[i])
+	return plain, done, nil
+}
+
+// ReadLine services a 64 B read request from the cache hierarchy.
+func (e *Engine) ReadLine(now, lineAddr uint64) ([mem.LineBytes]byte, uint64, error) {
+	e.Stats.LogicalReads++
+	e.note(mem.PageOf(lineAddr), mem.LineIndex(lineAddr))
+	return e.resolve(now, lineAddr)
+}
+
+// WriteLine services a 64 B write (store write-back or non-temporal store).
+// The first write to an uncopied line of a CoW page materialises the line
+// in place: no copy of the stale source data ever happens — this is the
+// fine-granularity CoW at the heart of the design.
+func (e *Engine) WriteLine(now, lineAddr uint64, plain *[mem.LineBytes]byte) (uint64, error) {
+	e.Stats.LogicalWrites++
+	pfn := mem.PageOf(lineAddr)
+	li := mem.LineIndex(lineAddr)
+	e.note(pfn, li)
+
+	blk, t, err := e.loadBlock(now, pfn)
+	if err != nil {
+		return t, err
+	}
+
+	if e.cfg.Scheme == SilentShredder && *plain == zeroLine {
+		// Silent Shredder's saving: an all-zero line is stored as a zero
+		// counter — no data write reaches the NVM.
+		lineNo := mem.LineNo(lineAddr)
+		blk.Minor[li] = 0
+		e.MACs.Drop(lineNo)
+		delete(e.written, lineNo)
+		e.Stats.ZeroWriteElisions++
+		return e.storeBlock(t, pfn, &blk), nil
+	}
+
+	wasZero := blk.Minor[li] == 0
+	switch e.cfg.Scheme {
+	case Lelantus:
+		if blk.CoW && wasZero {
+			e.Stats.CopiedOnDemand++
+		}
+	case LelantusCoW:
+		if wasZero {
+			if _, ok := e.cowTable[pfn]; ok {
+				e.Stats.CopiedOnDemand++
+			}
+		}
+	}
+
+	ctrChanged := true
+	switch {
+	case wasZero:
+		blk.Minor[li] = 1
+	case e.cfg.NonSecure:
+		// Non-secure mode: the minor only tracks copied/zero state, so a
+		// rewrite of a materialised line leaves the counter alone — no
+		// versioning, no overflow (Section III-G).
+		ctrChanged = false
+	case blk.Increment(li):
+		var errRe error
+		t, errRe = e.reencryptPage(t, pfn, &blk, li)
+		if errRe != nil {
+			return t, errRe
+		}
+		blk.Minor[li] = 1
+	}
+	e.Stats.MinorIncrements++
+
+	lineNo := mem.LineNo(lineAddr)
+	e.written[lineNo] = true
+	if e.cfg.NonSecure {
+		e.Phys.WriteLine(lineAddr, plain)
+		dataDone := e.Mem.Write(t, lineAddr)
+		e.Stats.DataWrites++
+		if ctrChanged {
+			return maxU64(dataDone, e.storeBlock(t, pfn, &blk)), nil
+		}
+		return dataDone, nil
+	}
+	ciph := e.Enc.Encrypt(plain, lineNo, blk.Major, blk.Minor[li])
+	e.Phys.WriteLine(lineAddr, &ciph)
+	e.MACs.Update(lineNo, ciph[:], blk.Major, blk.Minor[li])
+	dataDone := e.Mem.Write(t+e.cfg.AESLatencyNs, lineAddr)
+	e.Stats.DataWrites++
+	ctrDone := e.storeBlock(t, pfn, &blk)
+	return maxU64(dataDone, ctrDone), nil
+}
+
+// reencryptPage handles a minor-counter overflow: the page enters a new
+// major epoch and every materialised line (except skipLine, which is about
+// to be overwritten) is read, decrypted under the old counter, re-encrypted
+// under the new one and written back (paper Section V-C overhead analysis).
+func (e *Engine) reencryptPage(now, pfn uint64, blk *ctr.Block, skipLine int) (uint64, error) {
+	e.Stats.Overflows++
+	oldMajor := blk.Major
+	oldMinor := blk.Minor
+	reenc := blk.BumpMajor()
+	done := now
+	for _, i := range reenc {
+		if i == skipLine {
+			continue
+		}
+		la := mem.LineAddr(pfn, i)
+		lineNo := mem.LineNo(la)
+		if !e.written[lineNo] {
+			// Randomly initialised counter with no resident data: the new
+			// epoch needs no data movement for this line.
+			continue
+		}
+		var ciph [mem.LineBytes]byte
+		e.Phys.ReadLine(la, &ciph)
+		rt := e.Mem.Read(now, la)
+		e.Stats.DataReads++
+		if err := e.MACs.Verify(lineNo, ciph[:], oldMajor, oldMinor[i]); err != nil {
+			return rt, err
+		}
+		plain := e.Enc.Decrypt(&ciph, lineNo, oldMajor, oldMinor[i])
+		newCiph := e.Enc.Encrypt(&plain, lineNo, blk.Major, blk.Minor[i])
+		e.Phys.WriteLine(la, &newCiph)
+		e.MACs.Update(lineNo, newCiph[:], blk.Major, blk.Minor[i])
+		wt := e.Mem.Write(rt+e.cfg.AESLatencyNs, la)
+		e.Stats.DataWrites++
+		e.Stats.ReencryptedLines++
+		if wt > done {
+			done = wt
+		}
+	}
+	return done, nil
+}
+
+// lookupCoW consults the supplementary CoW table (Lelantus-CoW) for the
+// destination page's source mapping, going through the reserved CoW cache
+// first and charging an NVM metadata read on a miss.
+func (e *Engine) lookupCoW(now, pfn uint64) (src uint64, ok bool, done uint64) {
+	done = now + e.CtrCache.LatencyNs
+	if s, present, cached := e.CoWCache.Lookup(pfn); cached {
+		return s, present, done
+	}
+	done = e.Mem.Read(done, e.cowMetaAddr(pfn))
+	e.Stats.CoWMetaReads++
+	s, present := e.cowTable[pfn]
+	e.CoWCache.Insert(pfn, s, present)
+	return s, present, done
+}
+
+// storeCoWMapping updates the supplementary CoW-metadata region (and its
+// cache slice). present=false erases the mapping.
+func (e *Engine) storeCoWMapping(now, dst, src uint64, present bool) uint64 {
+	if present {
+		e.cowTable[dst] = src
+		e.CoWCache.Insert(dst, src, true)
+	} else {
+		if _, had := e.cowTable[dst]; !had {
+			return now
+		}
+		delete(e.cowTable, dst)
+		e.CoWCache.Insert(dst, 0, false)
+	}
+	addr := e.cowMetaAddr(dst)
+	var raw [mem.LineBytes]byte
+	e.Phys.ReadLine(addr, &raw)
+	off := (dst * 8) % mem.LineBytes
+	v := src
+	if !present {
+		v = 0
+	}
+	for b := 0; b < 8; b++ {
+		raw[off+uint64(b)] = byte(v >> (8 * b))
+	}
+	e.Phys.WriteLine(addr, &raw)
+	e.Stats.CoWMetaWrite++
+	return e.Mem.Write(now, addr)
+}

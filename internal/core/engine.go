@@ -1,0 +1,458 @@
+// Package core implements the paper's primary contribution: the secure
+// memory-controller engine that repurposes split-counter security metadata
+// to perform Copy-on-Write at cacheline granularity.
+//
+// Four configurations share one data path (paper Section V-A):
+//
+//   - Baseline: conventional secure NVM; CoW is done by the kernel copying
+//     whole pages through the controller.
+//   - SilentShredder: a zero minor counter encodes an all-zeros line, so
+//     page initialisation writes no data (Awad et al. [3]).
+//   - Lelantus: Solution 1 — the counter block itself is resized to carry a
+//     CoW flag, a 63-bit major, 6-bit minors and the source page number.
+//   - LelantusCoW: Solution 2 — counter blocks keep the classic layout;
+//     minor value zero is reserved for "not copied yet" and an 8-byte-per-
+//     page supplementary table (cached in a reserved counter-cache slice)
+//     holds the source page number.
+//
+// A zero minor counter on a CoW page redirects the read to the source page
+// (recursively along copy chains); the first write to such a line simply
+// encrypts the new data in place under a fresh counter — the copy that the
+// kernel would have performed never happens.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"lelantus/internal/bmt"
+	"lelantus/internal/ctr"
+	"lelantus/internal/ctrcache"
+	"lelantus/internal/enc"
+	"lelantus/internal/mem"
+	"lelantus/internal/nvm"
+)
+
+// Scheme selects which CoW design the engine runs.
+type Scheme int
+
+const (
+	Baseline Scheme = iota
+	SilentShredder
+	Lelantus
+	LelantusCoW
+)
+
+var schemeNames = [...]string{"baseline", "silent-shredder", "lelantus", "lelantus-cow"}
+
+func (s Scheme) String() string {
+	if int(s) < len(schemeNames) {
+		return schemeNames[s]
+	}
+	return fmt.Sprintf("Scheme(%d)", int(s))
+}
+
+// MarshalText renders the scheme name in JSON and text encodings.
+func (s Scheme) MarshalText() ([]byte, error) { return []byte(s.String()), nil }
+
+// UnmarshalText parses a scheme name.
+func (s *Scheme) UnmarshalText(b []byte) error {
+	v, err := ParseScheme(string(b))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+// Format returns the counter-block layout the scheme stores in NVM.
+func (s Scheme) Format() ctr.Format {
+	if s == Lelantus {
+		return ctr.Resized
+	}
+	return ctr.Classic
+}
+
+// ParseScheme maps a name (as accepted by the CLI tools) to a Scheme.
+func ParseScheme(name string) (Scheme, error) {
+	for i, n := range schemeNames {
+		if n == name {
+			return Scheme(i), nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown scheme %q (want one of baseline, silent-shredder, lelantus, lelantus-cow)", name)
+}
+
+// Schemes lists every configuration, in the paper's comparison order.
+func Schemes() []Scheme {
+	return []Scheme{Baseline, SilentShredder, Lelantus, LelantusCoW}
+}
+
+// ErrUnsupported is returned for a CoW command the scheme cannot execute;
+// the kernel then falls back to a conventional copy.
+var ErrUnsupported = errors.New("core: command not supported by scheme")
+
+// Layout fixes where metadata lives in the physical address space.
+type Layout struct {
+	// DataLimit is the exclusive upper byte address of the data region.
+	DataLimit uint64
+	// CounterBase is the byte address of the counter-block region
+	// (one 64 B block per 4 KB data page).
+	CounterBase uint64
+	// CoWBase is the byte address of the supplementary CoW-metadata region
+	// used by LelantusCoW (8 bytes per data page).
+	CoWBase uint64
+}
+
+// LayoutFor derives the metadata regions for a data region of the given
+// size: counters directly above the data, the CoW table above the counters.
+func LayoutFor(dataBytes uint64) Layout {
+	pages := dataBytes / mem.PageBytes
+	return Layout{
+		DataLimit:   dataBytes,
+		CounterBase: dataBytes,
+		CoWBase:     dataBytes + pages*ctr.BlockBytes,
+	}
+}
+
+// Config tunes the engine.
+type Config struct {
+	Scheme Scheme
+	// RandomInitCounters draws initial minor-counter values uniformly from
+	// [1, max] to model counter overflow on long-lived pages (Section V-A).
+	RandomInitCounters bool
+	Seed               int64
+	// CmdLatencyNs is the processor-to-controller transfer latency of one
+	// MMIO CoW command ("the same transfer latency as a write operation").
+	CmdLatencyNs uint64
+	// AESLatencyNs is the pad-generation latency, overlapped with the data
+	// fetch (Table: 24 cycles at 1 GHz).
+	AESLatencyNs uint64
+	// VerifyNs is the integrity-verification charge added to counter-block
+	// fetches from NVM (the paper cites <2% total overhead).
+	VerifyNs uint64
+	// NonSecure applies Lelantus to unencrypted memory (paper Section
+	// III-G): counter-like blocks still track copied/zero lines, but data
+	// is stored in plaintext, pads are never generated, and neither data
+	// MACs nor the Merkle tree are maintained. Minor counters saturate at
+	// one — with no encryption epoch to version, overflow cannot happen.
+	NonSecure bool
+}
+
+// DefaultConfig returns the paper's parameters for a given scheme.
+func DefaultConfig(s Scheme) Config {
+	return Config{
+		Scheme:       s,
+		Seed:         1,
+		CmdLatencyNs: 15,
+		AESLatencyNs: 24,
+		VerifyNs:     4,
+	}
+}
+
+// Stats aggregates the engine-level event counters the experiments report.
+type Stats struct {
+	LogicalReads  uint64 // ReadLine calls (demand + fill traffic)
+	LogicalWrites uint64 // WriteLine calls (stores / write-backs)
+
+	DataReads    uint64 // NVM line reads in the data region
+	DataWrites   uint64 // NVM line writes in the data region
+	CtrReads     uint64 // NVM reads of counter blocks
+	CtrWrites    uint64 // NVM writes of counter blocks
+	CoWMetaReads uint64 // NVM reads of the supplementary CoW table
+	CoWMetaWrite uint64 // NVM writes of the supplementary CoW table
+
+	ZeroWriteElisions uint64 // all-zero line writes turned into counter resets
+
+	Redirects uint64 // line reads served from a source page
+	ChainHops uint64 // total source-page hops while resolving reads
+	MaxChain  int    // longest chain observed
+	ZeroReads uint64 // reads satisfied as all-zeros without a data fetch
+
+	MinorIncrements  uint64
+	Overflows        uint64 // minor-counter overflow events (page re-encryption)
+	ReencryptedLines uint64
+
+	CopiedOnDemand uint64 // uncopied lines materialised by their first write
+	PhycLines      uint64 // uncopied lines materialised by page_phyc
+	ElidedLines    uint64 // uncopied lines released by page_free: never copied
+
+	PageCopies uint64
+	PagePhycs  uint64
+	PageFrees  uint64
+	PageInits  uint64
+}
+
+// NVMWrites returns all NVM write traffic caused through the engine.
+func (s *Stats) NVMWrites() uint64 {
+	return s.DataWrites + s.CtrWrites + s.CoWMetaWrite
+}
+
+// NVMReads returns all NVM read traffic caused through the engine.
+func (s *Stats) NVMReads() uint64 {
+	return s.DataReads + s.CtrReads + s.CoWMetaReads
+}
+
+// Engine is the secure memory controller core.
+type Engine struct {
+	cfg    Config
+	layout Layout
+
+	Phys *mem.Physical // NVM contents: ciphertext plus packed metadata
+	Dev  *nvm.Device   // NVM device (traffic counters, wear)
+	// Mem is the timing path to the device: the device itself, or the
+	// controller's write queue in front of it.
+	Mem  nvm.Memory
+	Enc  *enc.Engine
+	Tree *bmt.Tree
+	MACs *bmt.MACStore
+
+	CtrCache *ctrcache.Cache
+	CoWCache *ctrcache.CoWCache
+
+	// ZeroPFN is the kernel's shared zero frame; reads that bottom out
+	// there return zeros.
+	ZeroPFN uint64
+
+	rng *rand.Rand
+	// initialised marks counter blocks that exist in NVM (installed at
+	// simulated boot, free of charge, like a real machine's reset state).
+	initialised map[uint64]bool
+	// cowTable mirrors the supplementary CoW region's logical content
+	// (dstPFN -> srcPFN); the packed bytes also live in Phys.
+	cowTable map[uint64]uint64
+
+	// written marks lines that have ever been encrypted to NVM; reads of
+	// never-written lines return zeros (fresh memory).
+	written map[uint64]bool
+
+	// footprint tracking for Fig. 10c/d.
+	tracked   map[uint64]bool
+	footprint map[uint64]uint64 // pfn -> bitmask of lines touched
+
+	Stats Stats
+}
+
+// NewEngine assembles the controller core over the provided substrates.
+func NewEngine(cfg Config, layout Layout, phys *mem.Physical, dev *nvm.Device,
+	encEng *enc.Engine, tree *bmt.Tree, macs *bmt.MACStore,
+	cc *ctrcache.Cache, cowCache *ctrcache.CoWCache) *Engine {
+	return &Engine{
+		cfg:         cfg,
+		layout:      layout,
+		Phys:        phys,
+		Dev:         dev,
+		Mem:         dev,
+		Enc:         encEng,
+		Tree:        tree,
+		MACs:        macs,
+		CtrCache:    cc,
+		CoWCache:    cowCache,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		initialised: make(map[uint64]bool),
+		cowTable:    make(map[uint64]uint64),
+		written:     make(map[uint64]bool),
+		tracked:     make(map[uint64]bool),
+		footprint:   make(map[uint64]uint64),
+	}
+}
+
+// Scheme returns the active configuration.
+func (e *Engine) Scheme() Scheme { return e.cfg.Scheme }
+
+// Layout returns the metadata address map.
+func (e *Engine) Layout() Layout { return e.layout }
+
+func (e *Engine) ctrAddr(pfn uint64) uint64 { return e.layout.CounterBase + pfn*ctr.BlockBytes }
+
+// cowMetaAddr returns the 64 B-aligned NVM address holding page pfn's
+// 8-byte supplementary CoW entry.
+func (e *Engine) cowMetaAddr(pfn uint64) uint64 {
+	return (e.layout.CoWBase + pfn*8) &^ (mem.LineBytes - 1)
+}
+
+// freshBlock creates the boot-time counter block for a page.
+func (e *Engine) freshBlock() ctr.Block {
+	b := ctr.Block{Format: e.cfg.Scheme.Format()}
+	if e.cfg.RandomInitCounters {
+		for i := range b.Minor {
+			// [1, 127]: zero is reserved by the Lelantus encodings and by
+			// Silent Shredder, and the expected writes-to-overflow (~63)
+			// match the paper's analysis.
+			b.Minor[i] = uint8(1 + e.rng.Intn(ctr.MinorMaxClassic))
+		}
+	}
+	return b
+}
+
+// ensureInit installs a page's boot-time counter block in NVM. This models
+// machine-reset state and is free of simulated time and traffic.
+func (e *Engine) ensureInit(pfn uint64) {
+	if e.initialised[pfn] {
+		return
+	}
+	e.initialised[pfn] = true
+	b := e.freshBlock()
+	raw, err := b.Pack()
+	if err != nil {
+		panic("core: fresh block must pack: " + err.Error())
+	}
+	e.Phys.WriteLine(e.ctrAddr(pfn), &raw)
+	if !e.cfg.NonSecure {
+		e.Tree.Update(pfn, raw[:])
+	}
+}
+
+// loadBlock returns a copy of the page's counter block and the completion
+// time of the fetch. Counter-cache hits cost the cache latency; misses add
+// an NVM read plus integrity verification.
+func (e *Engine) loadBlock(now, pfn uint64) (ctr.Block, uint64, error) {
+	done := now + e.CtrCache.LatencyNs
+	if blk := e.CtrCache.Get(pfn); blk != nil {
+		return *blk, done, nil
+	}
+	e.ensureInit(pfn)
+	var raw [ctr.BlockBytes]byte
+	addr := e.ctrAddr(pfn)
+	e.Phys.ReadLine(addr, &raw)
+	done = e.Mem.Read(done, addr)
+	e.Stats.CtrReads++
+	if !e.cfg.NonSecure {
+		done += e.cfg.VerifyNs
+		if err := e.Tree.Verify(pfn, raw[:]); err != nil {
+			return ctr.Block{}, done, err
+		}
+	}
+	blk, err := ctr.Unpack(raw, e.cfg.Scheme.Format())
+	if err != nil {
+		return ctr.Block{}, done, err
+	}
+	e.installBlock(done, pfn, blk)
+	return blk, done, nil
+}
+
+// installBlock places a (clean) block into the counter cache, writing back
+// any dirty victim.
+func (e *Engine) installBlock(now, pfn uint64, blk ctr.Block) {
+	victim, needWB := e.CtrCache.Put(pfn, blk)
+	if needWB {
+		e.persistBlock(now, victim.Page, &victim.Blk)
+	}
+}
+
+// persistBlock packs a counter block, refreshes the integrity tree and
+// writes it to the NVM metadata region.
+func (e *Engine) persistBlock(now, pfn uint64, blk *ctr.Block) uint64 {
+	raw, err := blk.Pack()
+	if err != nil {
+		panic(fmt.Sprintf("core: cannot pack counter block for page %#x: %v", pfn, err))
+	}
+	addr := e.ctrAddr(pfn)
+	e.Phys.WriteLine(addr, &raw)
+	if !e.cfg.NonSecure {
+		e.Tree.Update(pfn, raw[:])
+	}
+	e.Stats.CtrWrites++
+	e.initialised[pfn] = true
+	return e.Mem.Write(now, addr)
+}
+
+// storeBlock commits a modified counter block: the cache copy is updated
+// and, depending on the cache mode, the block is written through or left
+// dirty for eviction-time write-back.
+func (e *Engine) storeBlock(now, pfn uint64, blk *ctr.Block) uint64 {
+	if cached := e.CtrCache.Get(pfn); cached != nil {
+		*cached = *blk
+	} else {
+		e.installBlock(now, pfn, *blk)
+	}
+	if e.CtrCache.MarkDirty(pfn) {
+		return e.persistBlock(now, pfn, blk)
+	}
+	return now
+}
+
+// DrainMetadata flushes dirty counter blocks (battery-backed write-back
+// drain at end of run) without advancing time.
+func (e *Engine) DrainMetadata() {
+	e.CtrCache.DrainDirty(func(v ctrcache.Victim) {
+		blk := v.Blk
+		e.persistBlock(0, v.Page, &blk)
+	})
+}
+
+// ResetVolatile replaces the on-chip metadata caches with cold ones,
+// modelling a power cycle. Whatever dirty counter state the caller did not
+// drain beforehand is lost — exactly the recovery hazard the secure-NVM
+// literature (Osiris, Anubis) addresses and the reason Fig. 12's
+// write-back configuration assumes a battery-backed counter cache. Lines
+// written under lost counter updates fail their MAC on the next read:
+// the loss is detected, never silent.
+func (e *Engine) ResetVolatile(cc *ctrcache.Cache, cow *ctrcache.CoWCache) {
+	e.CtrCache = cc
+	e.CoWCache = cow
+}
+
+// Track enables per-line access footprint recording for a page (Fig 10c/d).
+func (e *Engine) Track(pfn uint64) {
+	e.tracked[pfn] = true
+}
+
+// Footprint returns the bitmask of lines touched on a tracked page.
+func (e *Engine) Footprint(pfn uint64) uint64 { return e.footprint[pfn] }
+
+// Footprints returns the full tracked footprint map (pfn -> line bitmask).
+func (e *Engine) Footprints() map[uint64]uint64 { return e.footprint }
+
+func (e *Engine) note(pfn uint64, line int) {
+	if e.tracked[pfn] {
+		e.footprint[pfn] |= 1 << uint(line)
+	}
+}
+
+// IsCoW reports whether the page currently has live fine-grained CoW state
+// (uncopied lines that reference a source page).
+func (e *Engine) IsCoW(pfn uint64) bool {
+	switch e.cfg.Scheme {
+	case Lelantus:
+		if blk := e.CtrCache.Get(pfn); blk != nil {
+			return blk.CoW
+		}
+		blk, _, err := e.loadBlock(0, pfn)
+		return err == nil && blk.CoW
+	case LelantusCoW:
+		_, ok := e.cowTable[pfn]
+		return ok
+	default:
+		return false
+	}
+}
+
+// SourceOf returns the recorded source page of a CoW destination.
+func (e *Engine) SourceOf(pfn uint64) (uint64, bool) {
+	switch e.cfg.Scheme {
+	case Lelantus:
+		blk, _, err := e.loadBlock(0, pfn)
+		if err == nil && blk.CoW {
+			return blk.Src, true
+		}
+	case LelantusCoW:
+		src, ok := e.cowTable[pfn]
+		return src, ok
+	}
+	return 0, false
+}
+
+// UncopiedCount returns the number of lines of pfn still redirected to a
+// source page (0 for non-CoW pages).
+func (e *Engine) UncopiedCount(pfn uint64) int {
+	if !e.IsCoW(pfn) {
+		return 0
+	}
+	blk, _, err := e.loadBlock(0, pfn)
+	if err != nil {
+		return 0
+	}
+	return blk.UncopiedCount()
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"lelantus/internal/ctr"
+	"lelantus/internal/mem"
+)
+
+// shadow is the functional reference model: a plain byte store with eager
+// copies. The engine, whatever metadata tricks it plays, must always read
+// back exactly what the shadow holds.
+type shadow struct {
+	pages map[uint64]*[mem.PageBytes]byte
+}
+
+func newShadow() *shadow {
+	return &shadow{pages: make(map[uint64]*[mem.PageBytes]byte)}
+}
+
+func (s *shadow) page(pfn uint64) *[mem.PageBytes]byte {
+	p, ok := s.pages[pfn]
+	if !ok {
+		p = new([mem.PageBytes]byte)
+		s.pages[pfn] = p
+	}
+	return p
+}
+
+func (s *shadow) writeLine(pfn uint64, li int, val byte) {
+	p := s.page(pfn)
+	for i := 0; i < mem.LineBytes; i++ {
+		p[li*mem.LineBytes+i] = val
+	}
+}
+
+func (s *shadow) copyPage(src, dst uint64) {
+	*s.page(dst) = *s.page(src)
+}
+
+func (s *shadow) freePage(pfn uint64) {
+	s.pages[pfn] = new([mem.PageBytes]byte)
+}
+
+func (s *shadow) readLine(pfn uint64, li int) [mem.LineBytes]byte {
+	var out [mem.LineBytes]byte
+	copy(out[:], s.page(pfn)[li*mem.LineBytes:])
+	return out
+}
+
+// driver couples the engine with the kernel's ordering discipline: before
+// a page that others copy from is mutated (written, freed, re-initialised
+// or overwritten by a new copy), every dependent page is materialised with
+// page_phyc — exactly what the kernel's early-reclamation reverse lookup
+// does (Section III-D). Without this discipline fine-grained CoW would be
+// unsound, and this test would catch it.
+type driver struct {
+	t    *testing.T
+	e    *Engine
+	sh   *shadow
+	deps map[uint64]map[uint64]bool // src -> dependent dst set
+}
+
+func (d *driver) materialiseDependents(pfn uint64) {
+	for dst := range d.deps[pfn] {
+		if _, _, err := d.e.PagePhyc(0, pfn, dst); err != nil {
+			d.t.Fatalf("PagePhyc(%d,%d): %v", pfn, dst, err)
+		}
+	}
+	delete(d.deps, pfn)
+}
+
+// dropAsDependent forgets pfn's own pending copy (its metadata is being
+// replaced or cancelled).
+func (d *driver) dropAsDependent(pfn uint64) {
+	for _, set := range d.deps {
+		delete(set, pfn)
+	}
+}
+
+func (d *driver) write(pfn uint64, li int, val byte) {
+	d.materialiseDependents(pfn)
+	writeLine(d.t, d.e, pfn, li, val)
+	d.sh.writeLine(pfn, li, val)
+}
+
+func (d *driver) copy(src, dst uint64) bool {
+	// The destination's previous content dies: materialise pages reading
+	// from it first, and cancel the destination's own pending copy.
+	d.materialiseDependents(dst)
+	_, err := d.e.PageCopy(0, src, dst)
+	if err == ErrUnsupported {
+		return false
+	}
+	if err != nil {
+		d.t.Fatalf("PageCopy(%d,%d): %v", src, dst, err)
+	}
+	d.dropAsDependent(dst)
+	actual, ok := d.e.SourceOf(dst)
+	if !ok {
+		d.t.Fatalf("PageCopy(%d,%d) left no source mapping", src, dst)
+	}
+	if d.deps[actual] == nil {
+		d.deps[actual] = make(map[uint64]bool)
+	}
+	d.deps[actual][dst] = true
+	d.sh.copyPage(src, dst)
+	return true
+}
+
+func (d *driver) phyc(dst uint64) {
+	src, ok := d.e.SourceOf(dst)
+	if !ok {
+		return
+	}
+	if _, _, err := d.e.PagePhyc(0, src, dst); err != nil {
+		d.t.Fatalf("PagePhyc(%d,%d): %v", src, dst, err)
+	}
+	delete(d.deps[src], dst)
+}
+
+func (d *driver) free(pfn uint64) {
+	d.materialiseDependents(pfn)
+	d.dropAsDependent(pfn)
+	if _, err := d.e.PageFree(0, pfn); err != nil {
+		d.t.Fatalf("PageFree(%d): %v", pfn, err)
+	}
+	d.sh.freePage(pfn)
+}
+
+func (d *driver) init(pfn uint64) {
+	d.materialiseDependents(pfn)
+	d.dropAsDependent(pfn)
+	if _, err := d.e.PageInit(0, pfn); err != nil {
+		d.t.Fatalf("PageInit(%d): %v", pfn, err)
+	}
+	d.sh.freePage(pfn)
+}
+
+func (d *driver) check(pfn uint64, li int) {
+	got, _, err := d.e.ReadLine(0, mem.LineAddr(pfn, li))
+	if err != nil {
+		d.t.Fatalf("read(%d,%d): %v", pfn, li, err)
+	}
+	want := d.sh.readLine(pfn, li)
+	if got != want {
+		d.t.Fatalf("page %d line %d: engine %#x shadow %#x", pfn, li, got[0], want[0])
+	}
+}
+
+// TestPropertySemanticTransparency drives random operation sequences
+// through the engine and an eager-copy shadow model in lockstep under the
+// kernel's ordering discipline: every read must match (DESIGN.md
+// invariant 1 at the engine layer), across copies, chains, phyc, frees,
+// inits and plain writes, under every scheme that accepts commands.
+func TestPropertySemanticTransparency(t *testing.T) {
+	for _, scheme := range []Scheme{SilentShredder, Lelantus, LelantusCoW} {
+		scheme := scheme
+		t.Run(scheme.String(), func(t *testing.T) {
+			for seed := int64(1); seed <= 6; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				d := &driver{
+					t:    t,
+					e:    testEngine(t, scheme, nil),
+					sh:   newShadow(),
+					deps: make(map[uint64]map[uint64]bool),
+				}
+				const npages = 12
+				for step := 0; step < 700; step++ {
+					pfn := uint64(rng.Intn(npages))
+					li := rng.Intn(ctr.LinesPerPage)
+					switch op := rng.Intn(10); {
+					case op < 5:
+						d.write(pfn, li, byte(rng.Intn(256)))
+					case op < 7:
+						src := uint64(rng.Intn(npages))
+						if src != pfn {
+							d.copy(src, pfn)
+						}
+					case op < 8:
+						d.phyc(pfn)
+					case op < 9:
+						d.free(pfn)
+					default:
+						d.init(pfn)
+					}
+					d.check(uint64(rng.Intn(npages)), rng.Intn(ctr.LinesPerPage))
+				}
+				// Full sweep at the end.
+				for p := uint64(0); p < npages; p++ {
+					for li := 0; li < ctr.LinesPerPage; li += 7 {
+						d.check(p, li)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPropertyWriteNeverAmplifies checks DESIGN.md invariant 5 at the
+// engine level: the data-region NVM writes of a CoW-heavy random trace
+// under Lelantus never exceed the logical writes issued (the whole point
+// of eliding copies), whereas the Baseline's full copies would.
+func TestPropertyWriteNeverAmplifies(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	e := testEngine(t, Lelantus, nil)
+	logical := uint64(0)
+	for i := 0; i < 50; i++ {
+		writeLine(t, e, 1, i%ctr.LinesPerPage, byte(i))
+		logical++
+	}
+	for i := 0; i < 30; i++ {
+		dst := uint64(2 + rng.Intn(6))
+		if _, err := e.PageCopy(0, 1, dst); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 4; j++ {
+			writeLine(t, e, dst, rng.Intn(ctr.LinesPerPage), byte(j))
+			logical++
+		}
+		if _, err := e.PageFree(0, dst); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Stats.DataWrites > logical {
+		t.Fatalf("data writes %d exceed logical writes %d", e.Stats.DataWrites, logical)
+	}
+}

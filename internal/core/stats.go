@@ -1,0 +1,32 @@
+package core
+
+// Sub returns the field-wise difference s - prev, used to isolate the
+// measured phase of a run.
+func (s Stats) Sub(prev Stats) Stats {
+	d := Stats{
+		LogicalReads:      s.LogicalReads - prev.LogicalReads,
+		LogicalWrites:     s.LogicalWrites - prev.LogicalWrites,
+		DataReads:         s.DataReads - prev.DataReads,
+		DataWrites:        s.DataWrites - prev.DataWrites,
+		CtrReads:          s.CtrReads - prev.CtrReads,
+		CtrWrites:         s.CtrWrites - prev.CtrWrites,
+		CoWMetaReads:      s.CoWMetaReads - prev.CoWMetaReads,
+		CoWMetaWrite:      s.CoWMetaWrite - prev.CoWMetaWrite,
+		ZeroWriteElisions: s.ZeroWriteElisions - prev.ZeroWriteElisions,
+		Redirects:         s.Redirects - prev.Redirects,
+		ChainHops:         s.ChainHops - prev.ChainHops,
+		MaxChain:          s.MaxChain,
+		ZeroReads:         s.ZeroReads - prev.ZeroReads,
+		MinorIncrements:   s.MinorIncrements - prev.MinorIncrements,
+		Overflows:         s.Overflows - prev.Overflows,
+		ReencryptedLines:  s.ReencryptedLines - prev.ReencryptedLines,
+		CopiedOnDemand:    s.CopiedOnDemand - prev.CopiedOnDemand,
+		PhycLines:         s.PhycLines - prev.PhycLines,
+		ElidedLines:       s.ElidedLines - prev.ElidedLines,
+		PageCopies:        s.PageCopies - prev.PageCopies,
+		PagePhycs:         s.PagePhycs - prev.PagePhycs,
+		PageFrees:         s.PageFrees - prev.PageFrees,
+		PageInits:         s.PageInits - prev.PageInits,
+	}
+	return d
+}

@@ -1,0 +1,279 @@
+// Package ctr implements the split-counter scheme used by secure NVM
+// controllers, including the two counter-block layouts evaluated in the
+// Lelantus paper (ISCA 2020):
+//
+//   - Classic (Yan et al. [36]): one 64-bit major counter shared by a 4 KB
+//     page plus 64 seven-bit minor counters, one per 64 B cacheline. This is
+//     the layout used by the Baseline, Silent Shredder and Lelantus-CoW
+//     (supplementary metadata) configurations.
+//   - Resized (Lelantus Solution 1, Fig. 4): one CoW flag bit, a 63-bit
+//     major counter, and either 64 seven-bit minors (regular page) or 64
+//     six-bit minors plus a 64-bit source-page address (CoW page).
+//
+// Both layouts pack into exactly one 64-byte counter block, and the
+// pack/unpack round trip is bit-exact.
+package ctr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// BlockBytes is the size of a counter block in memory: one block covers one
+// 4 KB page (64 cachelines of 64 B each).
+const BlockBytes = 64
+
+// LinesPerPage is the number of 64 B cachelines covered by one counter block.
+const LinesPerPage = 64
+
+// Format selects the counter-block memory layout.
+type Format uint8
+
+const (
+	// Classic is the split-counter layout from Yan et al.: 64-bit major +
+	// 64 x 7-bit minors. No CoW flag exists in the block; schemes that need
+	// CoW information (Lelantus-CoW) keep it in supplementary metadata.
+	Classic Format = iota
+	// Resized is Lelantus Solution 1: a CoW flag and 63-bit major always
+	// occupy the first 64 bits. When the flag is clear the remaining 448
+	// bits hold 64 x 7-bit minors; when set they hold 64 x 6-bit minors
+	// followed by a 64-bit source page number.
+	Resized
+)
+
+func (f Format) String() string {
+	switch f {
+	case Classic:
+		return "classic"
+	case Resized:
+		return "resized"
+	}
+	return fmt.Sprintf("Format(%d)", uint8(f))
+}
+
+// Minor-counter width limits per layout.
+const (
+	MinorMaxClassic = 127 // 7-bit
+	MinorMaxCoW     = 63  // 6-bit (Resized format, CoW flag set)
+	majorMaxResized = 1<<63 - 1
+)
+
+// Block is the decoded, in-controller view of one 64-byte counter block.
+type Block struct {
+	Format Format
+	// CoW is the CoW_Flag (Resized format only). A set flag means the page
+	// was logically copied and Src plus zero-valued minors describe which
+	// lines have not been materialised yet.
+	CoW   bool
+	Major uint64
+	Minor [LinesPerPage]uint8
+	// Src is the physical page frame number of the source page (Resized
+	// format, CoW flag set). It is not stored in Classic blocks.
+	Src uint64
+}
+
+// MinorMax returns the largest value a minor counter may hold under the
+// block's current layout.
+func (b *Block) MinorMax() uint8 {
+	if b.Format == Resized && b.CoW {
+		return MinorMaxCoW
+	}
+	return MinorMaxClassic
+}
+
+// Validate checks that every field fits its bit width.
+func (b *Block) Validate() error {
+	switch b.Format {
+	case Classic:
+		if b.CoW {
+			return errors.New("ctr: classic block cannot carry a CoW flag")
+		}
+	case Resized:
+		if b.Major > majorMaxResized {
+			return fmt.Errorf("ctr: major %d exceeds 63 bits", b.Major)
+		}
+	default:
+		return fmt.Errorf("ctr: unknown format %v", b.Format)
+	}
+	maxMinor := b.MinorMax()
+	for i, m := range b.Minor {
+		if m > maxMinor {
+			return fmt.Errorf("ctr: minor[%d]=%d exceeds max %d", i, m, maxMinor)
+		}
+	}
+	return nil
+}
+
+// Pack serialises the block into its 64-byte memory image.
+func (b *Block) Pack() ([BlockBytes]byte, error) {
+	var raw [BlockBytes]byte
+	if err := b.Validate(); err != nil {
+		return raw, err
+	}
+	switch b.Format {
+	case Classic:
+		setBits(&raw, 0, 64, b.Major)
+		for i := 0; i < LinesPerPage; i++ {
+			setBits(&raw, 64+uint(i)*7, 7, uint64(b.Minor[i]))
+		}
+	case Resized:
+		if b.CoW {
+			setBits(&raw, 0, 1, 1)
+		}
+		setBits(&raw, 1, 63, b.Major)
+		if b.CoW {
+			for i := 0; i < LinesPerPage; i++ {
+				setBits(&raw, 64+uint(i)*6, 6, uint64(b.Minor[i]))
+			}
+			setBits(&raw, 448, 64, b.Src)
+		} else {
+			for i := 0; i < LinesPerPage; i++ {
+				setBits(&raw, 64+uint(i)*7, 7, uint64(b.Minor[i]))
+			}
+		}
+	}
+	return raw, nil
+}
+
+// Unpack decodes a 64-byte counter block stored in the given format.
+func Unpack(raw [BlockBytes]byte, f Format) (Block, error) {
+	b := Block{Format: f}
+	switch f {
+	case Classic:
+		b.Major = getBits(&raw, 0, 64)
+		for i := 0; i < LinesPerPage; i++ {
+			b.Minor[i] = uint8(getBits(&raw, 64+uint(i)*7, 7))
+		}
+	case Resized:
+		b.CoW = getBits(&raw, 0, 1) == 1
+		b.Major = getBits(&raw, 1, 63)
+		if b.CoW {
+			for i := 0; i < LinesPerPage; i++ {
+				b.Minor[i] = uint8(getBits(&raw, 64+uint(i)*6, 6))
+			}
+			b.Src = getBits(&raw, 448, 64)
+		} else {
+			for i := 0; i < LinesPerPage; i++ {
+				b.Minor[i] = uint8(getBits(&raw, 64+uint(i)*7, 7))
+			}
+		}
+	default:
+		return b, fmt.Errorf("ctr: unknown format %v", f)
+	}
+	return b, nil
+}
+
+// Increment advances the minor counter of line i, as done after every
+// encryption (write) of that line. It reports whether the minor counter
+// overflowed; on overflow the caller must re-encrypt the page under a new
+// major counter (see BumpMajor).
+func (b *Block) Increment(i int) (overflow bool) {
+	if b.Minor[i] >= b.MinorMax() {
+		return true
+	}
+	b.Minor[i]++
+	return false
+}
+
+// BumpMajor starts a fresh encryption epoch for the page after a minor
+// overflow: the major counter is incremented and every materialised line's
+// minor resets to 1. Minors that are zero stay zero so that the "uncopied"
+// (Lelantus) and "all-zeros" (Silent Shredder) encodings survive the epoch
+// change. It returns the indices of the lines that must be re-encrypted
+// under the new (major, minor) pair.
+func (b *Block) BumpMajor() []int {
+	b.Major++
+	if b.Format == Resized {
+		b.Major &= majorMaxResized
+	}
+	reenc := make([]int, 0, LinesPerPage)
+	for i := range b.Minor {
+		if b.Minor[i] != 0 {
+			b.Minor[i] = 1
+			reenc = append(reenc, i)
+		}
+	}
+	return reenc
+}
+
+// MakeCoW converts a Resized block into the CoW layout (Fig. 4b): the flag
+// is set, the source page number is recorded and all minors reset to zero,
+// marking every line as not-copied-yet. Minor values that no longer fit the
+// 6-bit width are the caller's concern only in the sense that they are
+// discarded here: a page_copy destination is a freshly mapped page whose
+// previous contents are dead.
+func (b *Block) MakeCoW(src uint64) error {
+	if b.Format != Resized {
+		return errors.New("ctr: MakeCoW requires the resized format")
+	}
+	b.CoW = true
+	b.Src = src
+	b.Major &= majorMaxResized
+	for i := range b.Minor {
+		b.Minor[i] = 0
+	}
+	return nil
+}
+
+// ClearCoW converts a Resized CoW block back to the regular layout once all
+// of its lines are materialised (page_phyc) or the page is freed
+// (page_free). Existing minor values (<= 63) fit the 7-bit layout, so the
+// data needs no re-encryption.
+func (b *Block) ClearCoW() {
+	b.CoW = false
+	b.Src = 0
+}
+
+// Uncopied reports whether line i of a CoW page is still awaiting its copy:
+// under both Lelantus encodings a zero minor counter on a CoW page means
+// "read this line from the source page".
+func (b *Block) Uncopied(i int) bool {
+	return b.Minor[i] == 0
+}
+
+// UncopiedCount returns the number of lines still redirected to the source.
+func (b *Block) UncopiedCount() int {
+	n := 0
+	for _, m := range b.Minor {
+		if m == 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// Equal reports semantic equality of two blocks.
+func (b *Block) Equal(o *Block) bool {
+	if b.Format != o.Format || b.CoW != o.CoW || b.Major != o.Major {
+		return false
+	}
+	if b.CoW && b.Src != o.Src {
+		return false
+	}
+	return b.Minor == o.Minor
+}
+
+// getBits extracts n (<=64) bits starting at bit position pos (LSB-first
+// within each byte) from the 64-byte block.
+func getBits(raw *[BlockBytes]byte, pos, n uint) uint64 {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		bit := pos + i
+		if raw[bit>>3]&(1<<(bit&7)) != 0 {
+			v |= 1 << i
+		}
+	}
+	return v
+}
+
+// setBits stores the low n bits of v at bit position pos.
+func setBits(raw *[BlockBytes]byte, pos, n uint, v uint64) {
+	for i := uint(0); i < n; i++ {
+		bit := pos + i
+		if v&(1<<i) != 0 {
+			raw[bit>>3] |= 1 << (bit & 7)
+		} else {
+			raw[bit>>3] &^= 1 << (bit & 7)
+		}
+	}
+}

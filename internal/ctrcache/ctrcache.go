@@ -1,0 +1,256 @@
+// Package ctrcache implements the memory controller's counter cache
+// (Table III: 256 KB, 16-way, LRU, 64 B blocks — one decoded counter block
+// per 4 KB page) with the two write strategies compared in Fig. 12
+// (battery-backed write-back and write-through), plus the small reserved
+// CoW-metadata cache Lelantus-CoW carves out of it (Section III-B,
+// Solution 2: one 64 B slot hosts eight 8 B source-page mappings).
+package ctrcache
+
+import "lelantus/internal/ctr"
+
+// Mode selects the counter write strategy.
+type Mode int
+
+const (
+	// WriteBack (battery-backed) updates counters in the cache and flushes
+	// them to NVM only on eviction. The paper's default.
+	WriteBack Mode = iota
+	// WriteThrough flushes every counter update to NVM immediately.
+	WriteThrough
+)
+
+func (m Mode) String() string {
+	if m == WriteThrough {
+		return "write-through"
+	}
+	return "write-back"
+}
+
+type entry struct {
+	page  uint64
+	valid bool
+	dirty bool
+	tick  uint64
+	blk   ctr.Block
+}
+
+// Cache caches decoded counter blocks keyed by page frame number.
+type Cache struct {
+	sets    uint64
+	ways    int
+	mode    Mode
+	entries []entry
+	tick    uint64
+
+	Hits, Misses uint64
+	LatencyNs    uint64
+}
+
+// New creates a counter cache of sizeBytes capacity (64 B per block).
+func New(sizeBytes uint64, ways int, mode Mode, latencyNs uint64) *Cache {
+	sets := sizeBytes / ctr.BlockBytes / uint64(ways)
+	if sets == 0 {
+		sets = 1
+	}
+	return &Cache{
+		sets:      sets,
+		ways:      ways,
+		mode:      mode,
+		entries:   make([]entry, sets*uint64(ways)),
+		LatencyNs: latencyNs,
+	}
+}
+
+// Mode returns the write strategy.
+func (c *Cache) Mode() Mode { return c.mode }
+
+func (c *Cache) set(page uint64) []entry {
+	s := page % c.sets
+	return c.entries[s*uint64(c.ways) : (s+1)*uint64(c.ways)]
+}
+
+// Get returns the cached counter block for the page, or nil on miss.
+func (c *Cache) Get(page uint64) *ctr.Block {
+	c.tick++
+	set := c.set(page)
+	for i := range set {
+		if set[i].valid && set[i].page == page {
+			set[i].tick = c.tick
+			c.Hits++
+			return &set[i].blk
+		}
+	}
+	c.Misses++
+	return nil
+}
+
+// Victim is an evicted dirty counter block that must be packed and written
+// to the NVM metadata region.
+type Victim struct {
+	Page uint64
+	Blk  ctr.Block
+}
+
+// Put installs a counter block fetched from NVM (or freshly created) and
+// returns the dirty victim, if any.
+func (c *Cache) Put(page uint64, blk ctr.Block) (victim Victim, needWB bool) {
+	c.tick++
+	set := c.set(page)
+	for i := range set {
+		if set[i].valid && set[i].page == page {
+			set[i].blk = blk
+			set[i].tick = c.tick
+			return Victim{}, false
+		}
+	}
+	pick := -1
+	for i := range set {
+		if !set[i].valid {
+			pick = i
+			break
+		}
+	}
+	if pick < 0 {
+		pick = 0
+		for i := 1; i < len(set); i++ {
+			if set[i].tick < set[pick].tick {
+				pick = i
+			}
+		}
+		if set[pick].dirty {
+			victim = Victim{Page: set[pick].page, Blk: set[pick].blk}
+			needWB = true
+		}
+	}
+	set[pick] = entry{page: page, valid: true, tick: c.tick, blk: blk}
+	return victim, needWB
+}
+
+// MarkDirty flags a resident counter block as modified. It reports whether
+// the block must be written through immediately (write-through mode).
+func (c *Cache) MarkDirty(page uint64) (writeThrough bool) {
+	if c.mode == WriteThrough {
+		return true
+	}
+	set := c.set(page)
+	for i := range set {
+		if set[i].valid && set[i].page == page {
+			set[i].dirty = true
+		}
+	}
+	return false
+}
+
+// Invalidate drops the page's counter block, returning it if it was dirty.
+func (c *Cache) Invalidate(page uint64) (victim Victim, needWB bool) {
+	set := c.set(page)
+	for i := range set {
+		if set[i].valid && set[i].page == page {
+			if set[i].dirty {
+				victim = Victim{Page: page, Blk: set[i].blk}
+				needWB = true
+			}
+			set[i] = entry{}
+			return victim, needWB
+		}
+	}
+	return Victim{}, false
+}
+
+// DrainDirty hands every dirty resident block to sink and cleans it
+// (end-of-run persistence, as a battery-backed cache would on power loss).
+func (c *Cache) DrainDirty(sink func(Victim)) {
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.valid && e.dirty {
+			sink(Victim{Page: e.page, Blk: e.blk})
+			e.dirty = false
+		}
+	}
+}
+
+// MissRate returns the fraction of lookups that missed.
+func (c *Cache) MissRate() float64 {
+	t := c.Hits + c.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(t)
+}
+
+// CoWCache is the reserved slice of the counter cache that holds
+// supplementary CoW mappings (destination page -> source page) for
+// Lelantus-CoW. Eight 8 B mappings share one 64 B slot.
+type CoWCache struct {
+	capacity int
+	tick     uint64
+	ents     map[uint64]*cowEntry
+
+	Hits, Misses uint64
+}
+
+type cowEntry struct {
+	src     uint64
+	present bool // false caches a negative result ("no source mapping")
+	tick    uint64
+}
+
+// NewCoW creates a CoW-mapping cache backed by sizeBytes of counter-cache
+// capacity (sizeBytes/8 mappings).
+func NewCoW(sizeBytes uint64) *CoWCache {
+	capacity := int(sizeBytes / 8)
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &CoWCache{capacity: capacity, ents: make(map[uint64]*cowEntry)}
+}
+
+// Lookup returns the cached mapping state for a destination page: cached
+// reports whether the cache knows the answer at all, and present whether a
+// source mapping exists.
+func (c *CoWCache) Lookup(dst uint64) (src uint64, present, cached bool) {
+	c.tick++
+	if e, hit := c.ents[dst]; hit {
+		e.tick = c.tick
+		c.Hits++
+		return e.src, e.present, true
+	}
+	c.Misses++
+	return 0, false, false
+}
+
+// Insert caches a mapping (or, with present=false, its absence) fetched
+// from the NVM CoW-metadata region, evicting the LRU entry when full.
+func (c *CoWCache) Insert(dst, src uint64, present bool) {
+	c.tick++
+	if e, ok := c.ents[dst]; ok {
+		e.src = src
+		e.present = present
+		e.tick = c.tick
+		return
+	}
+	if len(c.ents) >= c.capacity {
+		var lruKey uint64
+		lruTick := ^uint64(0)
+		for k, e := range c.ents {
+			if e.tick < lruTick {
+				lruTick = e.tick
+				lruKey = k
+			}
+		}
+		delete(c.ents, lruKey)
+	}
+	c.ents[dst] = &cowEntry{src: src, present: present, tick: c.tick}
+}
+
+// Drop removes a mapping (page_phyc / page_free).
+func (c *CoWCache) Drop(dst uint64) { delete(c.ents, dst) }
+
+// MissRate returns the fraction of lookups that missed (Fig. 10b).
+func (c *CoWCache) MissRate() float64 {
+	t := c.Hits + c.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(t)
+}

@@ -1,0 +1,166 @@
+package ctrcache
+
+import (
+	"testing"
+
+	"lelantus/internal/ctr"
+)
+
+func blk(major uint64) ctr.Block {
+	return ctr.Block{Format: ctr.Classic, Major: major}
+}
+
+func TestGetMissThenHit(t *testing.T) {
+	c := New(4<<10, 4, WriteBack, 2)
+	if c.Get(7) != nil {
+		t.Fatal("cold lookup must miss")
+	}
+	c.Put(7, blk(1))
+	got := c.Get(7)
+	if got == nil || got.Major != 1 {
+		t.Fatal("hit must return the cached block")
+	}
+	if c.Hits != 1 || c.Misses != 1 {
+		t.Fatalf("hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestPointerMutationSticks(t *testing.T) {
+	c := New(4<<10, 4, WriteBack, 2)
+	c.Put(3, blk(1))
+	c.Get(3).Major = 42
+	if c.Get(3).Major != 42 {
+		t.Fatal("mutation through Get pointer lost")
+	}
+}
+
+func TestEvictionReturnsDirtyVictim(t *testing.T) {
+	// 2 sets x 2 ways.
+	c := New(4*ctr.BlockBytes, 2, WriteBack, 2)
+	c.Put(0, blk(10))
+	c.MarkDirty(0)
+	c.Put(2, blk(20)) // same set (page % 2 == 0)
+	v, need := c.Put(4, blk(30))
+	if !need || v.Page != 0 || v.Blk.Major != 10 {
+		t.Fatalf("victim = %+v (need=%v)", v, need)
+	}
+}
+
+func TestCleanEvictionSilent(t *testing.T) {
+	c := New(4*ctr.BlockBytes, 2, WriteBack, 2)
+	c.Put(0, blk(10))
+	c.Put(2, blk(20))
+	if _, need := c.Put(4, blk(30)); need {
+		t.Fatal("clean victim must not be written back")
+	}
+}
+
+func TestWriteThroughMode(t *testing.T) {
+	c := New(4<<10, 4, WriteThrough, 2)
+	c.Put(1, blk(5))
+	if !c.MarkDirty(1) {
+		t.Fatal("write-through must demand an immediate flush")
+	}
+	// Nothing is held dirty, so eviction is silent.
+	drained := 0
+	c.DrainDirty(func(Victim) { drained++ })
+	if drained != 0 {
+		t.Fatal("write-through cache must hold no dirty blocks")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(4<<10, 4, WriteBack, 2)
+	c.Put(9, blk(9))
+	c.MarkDirty(9)
+	v, need := c.Invalidate(9)
+	if !need || v.Blk.Major != 9 {
+		t.Fatalf("invalidate dirty: %+v need=%v", v, need)
+	}
+	if c.Get(9) != nil {
+		t.Fatal("invalidated block still resident")
+	}
+}
+
+func TestDrainDirty(t *testing.T) {
+	c := New(4<<10, 4, WriteBack, 2)
+	c.Put(1, blk(1))
+	c.Put(2, blk(2))
+	c.MarkDirty(1)
+	seen := map[uint64]bool{}
+	c.DrainDirty(func(v Victim) { seen[v.Page] = true })
+	if !seen[1] || seen[2] {
+		t.Fatalf("drained wrong set: %v", seen)
+	}
+	// Second drain: nothing left.
+	count := 0
+	c.DrainDirty(func(Victim) { count++ })
+	if count != 0 {
+		t.Fatal("drain must clean blocks")
+	}
+}
+
+func TestMissRate(t *testing.T) {
+	c := New(4<<10, 4, WriteBack, 2)
+	c.Get(1)
+	c.Put(1, blk(1))
+	c.Get(1)
+	if r := c.MissRate(); r != 0.5 {
+		t.Fatalf("miss rate = %v, want 0.5", r)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if WriteBack.String() != "write-back" || WriteThrough.String() != "write-through" {
+		t.Fatal("mode names")
+	}
+}
+
+func TestCoWCacheLRU(t *testing.T) {
+	c := NewCoW(3 * 8) // capacity 3 mappings
+	c.Insert(1, 101, true)
+	c.Insert(2, 102, true)
+	c.Insert(3, 103, true)
+	if _, _, cached := c.Lookup(1); !cached {
+		t.Fatal("mapping 1 lost prematurely")
+	}
+	c.Insert(4, 104, true) // evicts LRU = 2
+	if _, _, cached := c.Lookup(2); cached {
+		t.Fatal("LRU mapping should have been evicted")
+	}
+	if src, present, cached := c.Lookup(4); !cached || !present || src != 104 {
+		t.Fatal("fresh mapping missing")
+	}
+	// Negative results are cached too, distinct from source pfn 0.
+	c.Insert(5, 0, false)
+	if _, present, cached := c.Lookup(5); !cached || present {
+		t.Fatal("negative mapping must be cached as absent")
+	}
+	c.Insert(6, 0, true) // pfn 0 is a legal source page
+	if src, present, _ := c.Lookup(6); !present || src != 0 {
+		t.Fatal("source pfn 0 must be representable")
+	}
+}
+
+func TestCoWCacheUpdateAndDrop(t *testing.T) {
+	c := NewCoW(64)
+	c.Insert(5, 50, true)
+	c.Insert(5, 51, true)
+	if src, _, _ := c.Lookup(5); src != 51 {
+		t.Fatalf("update lost: src=%d", src)
+	}
+	c.Drop(5)
+	if _, _, cached := c.Lookup(5); cached {
+		t.Fatal("dropped mapping still cached")
+	}
+}
+
+func TestCoWCacheMissRate(t *testing.T) {
+	c := NewCoW(64)
+	c.Lookup(1)
+	c.Insert(1, 10, true)
+	c.Lookup(1)
+	if r := c.MissRate(); r != 0.5 {
+		t.Fatalf("miss rate = %v", r)
+	}
+}

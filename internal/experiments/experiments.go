@@ -1,0 +1,206 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation section (Section V) on the simulator: Fig. 2 (CoW write
+// amplification), Table I (metadata encoding comparison), Fig. 9
+// (application speedup and write reduction), Fig. 10 (overflow rate, CoW
+// cache misses, page access footprints), Table V (copy/init traffic
+// share), Fig. 11 (forkbench sensitivity sweeps) and Fig. 12 (counter
+// write-strategy impact). cmd/lelantus-bench and the repository-root
+// bench_test.go drive these functions.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"lelantus/internal/core"
+	"lelantus/internal/ctrcache"
+	"lelantus/internal/sim"
+	"lelantus/internal/stats"
+	"lelantus/internal/workload"
+)
+
+// Options scale the experiments.
+type Options struct {
+	Seed int64
+	// Quick shrinks workloads for CI-speed runs; the full sizes are the
+	// paper-comparable defaults.
+	Quick bool
+	// MemBytes is the simulated NVM capacity (default 512 MB: big enough
+	// for every workload while keeping host memory modest; the paper's
+	// 16 GB changes nothing for these working sets).
+	MemBytes uint64
+}
+
+// DefaultOptions returns full-size experiment settings.
+func DefaultOptions() Options {
+	return Options{Seed: 1, MemBytes: 512 << 20}
+}
+
+func (o Options) memBytes() uint64 {
+	if o.MemBytes == 0 {
+		return 512 << 20
+	}
+	return o.MemBytes
+}
+
+// Report is one regenerated table or figure.
+type Report struct {
+	ID    string // e.g. "fig9", "tableV"
+	Title string
+	Table *stats.Table
+	Notes []string
+}
+
+// String renders the report.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString(r.Table.String())
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Markdown renders the report as markdown (EXPERIMENTS.md appendix form).
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	b.WriteString(r.Table.Markdown())
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	return b.String()
+}
+
+// machineConfig builds a simulator config for an experiment run.
+func (o Options) machineConfig(scheme core.Scheme, mutate func(*sim.Config)) sim.Config {
+	cfg := sim.DefaultConfig(scheme)
+	cfg.Mem.MemBytes = o.memBytes()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return cfg
+}
+
+// run executes one script on a fresh machine.
+func (o Options) run(scheme core.Scheme, script workload.Script, mutate func(*sim.Config)) (sim.Result, error) {
+	return sim.RunWith(o.machineConfig(scheme, mutate), script)
+}
+
+// forkbenchParams scales forkbench for the option set.
+func (o Options) forkbenchParams(huge bool) workload.ForkbenchParams {
+	p := workload.DefaultForkbench(huge)
+	if o.Quick {
+		p.RegionBytes = 4 << 20
+		if huge {
+			p.RegionBytes = 8 << 20
+		}
+	}
+	return p
+}
+
+// pageModes returns the two page-size configurations of the evaluation.
+func pageModes() []struct {
+	Name string
+	Huge bool
+} {
+	return []struct {
+		Name string
+		Huge bool
+	}{{"4KB", false}, {"2MB", true}}
+}
+
+// comparedSchemes is the Fig. 9 scheme order: the three designs compared
+// against the Baseline.
+func comparedSchemes() []core.Scheme {
+	return []core.Scheme{core.SilentShredder, core.Lelantus, core.LelantusCoW}
+}
+
+// All regenerates every table and figure in paper order.
+func All(o Options) ([]*Report, error) {
+	var reports []*Report
+	type gen struct {
+		name string
+		f    func(Options) (*Report, error)
+	}
+	gens := []gen{
+		{"fig2", Fig2},
+		{"tableI", TableI},
+		{"tableIII", TableIII},
+		{"tableIV", TableIV},
+		{"fig9-4KB", func(o Options) (*Report, error) { return Fig9(o, false) }},
+		{"fig9-2MB", func(o Options) (*Report, error) { return Fig9(o, true) }},
+		{"fig10", Fig10},
+		{"tableV", TableV},
+		{"fig11-4KB", func(o Options) (*Report, error) { return Fig11(o, false) }},
+		{"fig11-2MB", func(o Options) (*Report, error) { return Fig11(o, true) }},
+		{"fig12", Fig12},
+		{"ablation-nonsecure", AblationNonSecure},
+		{"ablation-cowcache", AblationCoWCache},
+		{"ablation-ctrcache", AblationCtrCache},
+		{"ablation-wear", AblationWear},
+		{"ablation-tlb", AblationTLB},
+		{"usecases", UseCases},
+		{"ablation-writequeue", AblationWriteQueue},
+	}
+	for _, g := range gens {
+		r, err := g.f(o)
+		if err != nil {
+			return reports, fmt.Errorf("experiments: %s: %w", g.name, err)
+		}
+		reports = append(reports, r)
+	}
+	return reports, nil
+}
+
+// ByID regenerates a single experiment.
+func ByID(o Options, id string) (*Report, error) {
+	switch id {
+	case "fig2":
+		return Fig2(o)
+	case "tableI":
+		return TableI(o)
+	case "tableIII":
+		return TableIII(o)
+	case "tableIV":
+		return TableIV(o)
+	case "fig9", "fig9-4KB":
+		return Fig9(o, false)
+	case "fig9-2MB":
+		return Fig9(o, true)
+	case "fig10":
+		return Fig10(o)
+	case "tableV":
+		return TableV(o)
+	case "fig11", "fig11-4KB":
+		return Fig11(o, false)
+	case "fig11-2MB":
+		return Fig11(o, true)
+	case "fig12":
+		return Fig12(o)
+	case "ablation-nonsecure":
+		return AblationNonSecure(o)
+	case "ablation-cowcache":
+		return AblationCoWCache(o)
+	case "ablation-ctrcache":
+		return AblationCtrCache(o)
+	case "ablation-wear":
+		return AblationWear(o)
+	case "ablation-tlb":
+		return AblationTLB(o)
+	case "usecases":
+		return UseCases(o)
+	case "ablation-writequeue":
+		return AblationWriteQueue(o)
+	}
+	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// IDs lists the experiment identifiers in paper order.
+func IDs() []string {
+	return []string{"fig2", "tableI", "tableIII", "tableIV", "fig9-4KB",
+		"fig9-2MB", "fig10", "tableV", "fig11-4KB", "fig11-2MB", "fig12",
+		"ablation-nonsecure", "ablation-cowcache", "ablation-ctrcache",
+		"ablation-wear", "ablation-tlb", "usecases", "ablation-writequeue"}
+}
+
+var _ = ctrcache.WriteBack // referenced by fig12.go

@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quickOpts() Options {
+	o := DefaultOptions()
+	o.Quick = true
+	o.MemBytes = 256 << 20
+	return o
+}
+
+func TestFig2Shape(t *testing.T) {
+	r, err := Fig2(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := r.String()
+	if !strings.Contains(out, "4KB(1B)") || !strings.Contains(out, "2MB(whole)") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+}
+
+func TestTableIII(t *testing.T) {
+	r, err := TableIII(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.String(), "60ns read, 150ns write") {
+		t.Fatalf("config table wrong:\n%s", r)
+	}
+}
+
+func TestTableIV(t *testing.T) {
+	r, err := TableIV(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"boot", "compile", "forkbench", "redis", "mariadb", "shell"} {
+		if !strings.Contains(r.String(), name) {
+			t.Fatalf("missing %s:\n%s", name, r)
+		}
+	}
+}
+
+func TestFig11Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	r, err := Fig11(quickOpts(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(strings.TrimSpace(r.Table.String()), "\n")) < 5 {
+		t.Fatalf("sweep too small:\n%s", r)
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID(quickOpts(), "nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	for _, id := range IDs() {
+		switch id {
+		case "tableIII", "tableIV":
+			if _, err := ByID(quickOpts(), id); err != nil {
+				t.Fatalf("%s: %v", id, err)
+			}
+		}
+	}
+}
+
+// TestAllQuickSmoke regenerates every experiment at quick scale — the
+// whole harness must stay runnable end to end.
+func TestAllQuickSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs every experiment; slow")
+	}
+	o := quickOpts()
+	o.MemBytes = 128 << 20
+	reports, err := All(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reports) != len(IDs()) {
+		t.Fatalf("got %d reports, want %d", len(reports), len(IDs()))
+	}
+	for _, r := range reports {
+		if r.Table == nil || r.ID == "" {
+			t.Fatalf("malformed report %+v", r)
+		}
+		if len(r.String()) < 40 {
+			t.Fatalf("suspiciously empty report %s:\n%s", r.ID, r)
+		}
+	}
+}

@@ -1,0 +1,318 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"lelantus/internal/core"
+	"lelantus/internal/ctrcache"
+	"lelantus/internal/mem"
+	"lelantus/internal/sim"
+	"lelantus/internal/stats"
+	"lelantus/internal/workload"
+)
+
+// Fig2 reproduces the motivation figure: write amplification of
+// page-granularity CoW under the Baseline, for 4 KB and 2 MB pages, when
+// the child updates one byte per page versus the whole page, over a 16 MB
+// allocation. The write-amplification factor is physical NVM data writes
+// divided by the logical cachelines the application wrote.
+func Fig2(o Options) (*Report, error) {
+	t := stats.NewTable("Fig. 2 — CoW write amplification (Baseline)",
+		"config", "logical-lines", "physical-writes", "WAF", "WAF-with-meta")
+	regionBytes := uint64(16 << 20)
+	if o.Quick {
+		regionBytes = 4 << 20
+	}
+	for _, pm := range pageModes() {
+		unit := uint64(mem.PageBytes)
+		if pm.Huge {
+			unit = mem.HugePageBytes
+		}
+		units := regionBytes / unit
+		for _, upd := range []struct {
+			label string
+			bytes uint64
+			lines uint64 // logical lines written per unit
+		}{
+			{"1B", 1, 1},
+			{"whole", unit, unit / mem.LineBytes},
+		} {
+			p := workload.ForkbenchParams{
+				RegionBytes:  regionBytes,
+				BytesPerUnit: upd.bytes,
+				Huge:         pm.Huge,
+				ChildExits:   true,
+			}
+			res, err := o.run(core.Baseline, workload.Forkbench(p), nil)
+			if err != nil {
+				return nil, err
+			}
+			logical := units * upd.lines
+			t.Add(
+				fmt.Sprintf("%s(%s)", pm.Name, upd.label),
+				logical,
+				res.Engine.DataWrites,
+				float64(res.Engine.DataWrites)/float64(logical),
+				float64(res.NVMWrites)/float64(logical),
+			)
+		}
+	}
+	return &Report{
+		ID:    "fig2",
+		Title: "Write amplification for CoW pages",
+		Table: t,
+		Notes: []string{
+			"paper: first-write WAF 7.07x (4KB) / 477.96x (2MB); whole-page WAF 1.87x / 1.97x",
+		},
+	}, nil
+}
+
+// fig9Run executes one (workload, scheme, page-size) cell.
+func (o Options) fig9Run(spec workload.Spec, scheme core.Scheme, huge bool) (sim.Result, error) {
+	var script workload.Script
+	if spec.Name == "forkbench" {
+		script = workload.Forkbench(o.forkbenchParams(huge))
+	} else {
+		script = spec.Build(huge, o.Seed)
+	}
+	return o.run(scheme, script, nil)
+}
+
+// Fig9 reproduces the end-to-end comparison (Fig. 9a-9d): speedup over the
+// Baseline and NVM writes relative to the Baseline for Silent Shredder,
+// Lelantus and Lelantus-CoW across the benchmark catalogue.
+func Fig9(o Options, huge bool) (*Report, error) {
+	mode := "4KB"
+	if huge {
+		mode = "2MB"
+	}
+	t := stats.NewTable(fmt.Sprintf("Fig. 9 — speedup and write reduction (%s pages)", mode),
+		"workload",
+		"speedup-shredder", "speedup-lelantus", "speedup-lelantus-cow",
+		"writes%-shredder", "writes%-lelantus", "writes%-lelantus-cow")
+	var geoLel float64 = 1
+	n := 0
+	for _, spec := range workload.Catalogue() {
+		base, err := o.fig9Run(spec, core.Baseline, huge)
+		if err != nil {
+			return nil, fmt.Errorf("%s/baseline: %w", spec.Name, err)
+		}
+		row := []interface{}{spec.Name}
+		var speeds, writes []float64
+		for _, s := range comparedSchemes() {
+			res, err := o.fig9Run(spec, s, huge)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%v: %w", spec.Name, s, err)
+			}
+			speeds = append(speeds, res.SpeedupVs(base))
+			writes = append(writes, 100*res.WriteReductionVs(base))
+		}
+		for _, v := range speeds {
+			row = append(row, v)
+		}
+		for _, v := range writes {
+			row = append(row, v)
+		}
+		t.Add(row...)
+		if spec.Name != "non-copy" {
+			geoLel *= speeds[1]
+			n++
+		}
+	}
+	notes := []string{
+		fmt.Sprintf("geometric-mean Lelantus speedup (excl. non-copy): %.2fx", geomean(geoLel, n)),
+	}
+	if huge {
+		notes = append(notes, "paper: 10.57x average speedup, writes reduced to 29.65% (2MB)")
+	} else {
+		notes = append(notes, "paper: 2.25x average speedup, writes reduced to 42.78% (4KB)")
+	}
+	return &Report{ID: "fig9-" + mode, Title: "Application speedup and write reduction", Table: t, Notes: notes}, nil
+}
+
+func geomean(product float64, n int) float64 {
+	if n == 0 || product <= 0 {
+		return 0
+	}
+	return math.Pow(product, 1/float64(n))
+}
+
+// Fig10 reproduces the design-choice diagnostics: (a) minor-counter
+// overflow rate under both encodings, (b) the CoW-metadata cache miss
+// rate of Lelantus-CoW, and (c/d) the page-access footprint of CoW pages
+// under Baseline versus Lelantus.
+func Fig10(o Options) (*Report, error) {
+	t := stats.NewTable("Fig. 10 — encoding diagnostics",
+		"metric", "workload", "value")
+
+	// (a) Overflow rate: the CoW-page rewrite stress (journal commits on
+	// snapshotted pages) plus the ordinary forkbench, with randomly
+	// initialised counters. The resized 6-bit minors overflow roughly
+	// twice as often as the classic 7-bit layout.
+	for _, s := range []core.Scheme{core.Lelantus, core.LelantusCoW} {
+		for _, wl := range []struct {
+			name   string
+			script workload.Script
+		}{
+			{"journal", workload.Journal(false, o.Seed)},
+			{"forkbench", workload.Forkbench(o.forkbenchParams(false))},
+		} {
+			res, err := o.run(s, wl.script, func(c *sim.Config) {
+				c.Mem.Core.RandomInitCounters = true
+			})
+			if err != nil {
+				return nil, err
+			}
+			rate := 0.0
+			if res.Engine.MinorIncrements > 0 {
+				rate = float64(res.Engine.Overflows) / float64(res.Engine.MinorIncrements)
+			}
+			t.Add("overflow-rate/"+s.String(), wl.name, fmt.Sprintf("%.6f", rate))
+		}
+	}
+
+	// (b) CoW cache miss rate (Lelantus-CoW).
+	for _, spec := range workload.Catalogue() {
+		if spec.Name == "non-copy" {
+			continue
+		}
+		res, err := o.fig9Run(spec, core.LelantusCoW, false)
+		if err != nil {
+			return nil, err
+		}
+		t.Add("cow-cache-miss", spec.Name, fmt.Sprintf("%.4f", res.CoWMissRate))
+	}
+
+	// (c)/(d) Page access footprint of CoW destination pages.
+	for _, s := range []core.Scheme{core.Baseline, core.Lelantus} {
+		fp, err := o.footprint(s)
+		if err != nil {
+			return nil, err
+		}
+		t.Add("footprint-lines/page", s.String(), fmt.Sprintf("%.1f of 64", fp))
+	}
+
+	return &Report{
+		ID:    "fig10",
+		Title: "Overflow rate, CoW cache misses, access footprints",
+		Table: t,
+		Notes: []string{
+			"paper: overflow rate on the order of 1e-4; Baseline touches whole pages, Lelantus a few scattered lines",
+		},
+	}, nil
+}
+
+// footprint runs forkbench with footprint tracking and returns the mean
+// number of lines touched per CoW destination page.
+func (o Options) footprint(scheme core.Scheme) (float64, error) {
+	p := o.forkbenchParams(false)
+	m, err := sim.NewMachine(o.machineConfig(scheme, func(c *sim.Config) {
+		c.Kernel.TrackFootprints = true
+	}))
+	if err != nil {
+		return 0, err
+	}
+	if _, err := m.Run(workload.Forkbench(p)); err != nil {
+		return 0, err
+	}
+	fps := m.Ctl.Engine.Footprints()
+	if len(fps) == 0 {
+		return 0, nil
+	}
+	var total int
+	for _, mask := range fps {
+		total += popcount(mask)
+	}
+	return float64(total) / float64(len(fps)), nil
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for ; x != 0; x &= x - 1 {
+		n++
+	}
+	return n
+}
+
+// Fig11 reproduces the forkbench sensitivity study: the child updates a
+// varying number of bytes per page (evenly spread), and speedup plus
+// write ratio versus the Baseline are reported for both Lelantus schemes.
+func Fig11(o Options, huge bool) (*Report, error) {
+	mode := "4KB"
+	sweep := []uint64{1, 8, 64, 512, 4096}
+	if huge {
+		mode = "2MB"
+		sweep = []uint64{1, 64, 4096, 32768, 262144, 2097152}
+	}
+	if o.Quick {
+		if huge {
+			sweep = []uint64{1, 4096, 2097152}
+		} else {
+			sweep = []uint64{1, 64, 4096}
+		}
+	}
+	t := stats.NewTable(fmt.Sprintf("Fig. 11 — forkbench sensitivity (%s pages)", mode),
+		"bytes/page", "speedup-lelantus", "speedup-lelantus-cow",
+		"writes%-lelantus", "writes%-lelantus-cow")
+	for _, bytes := range sweep {
+		p := o.forkbenchParams(huge)
+		p.BytesPerUnit = bytes
+		script := workload.Forkbench(p)
+		base, err := o.run(core.Baseline, script, nil)
+		if err != nil {
+			return nil, err
+		}
+		lel, err := o.run(core.Lelantus, script, nil)
+		if err != nil {
+			return nil, err
+		}
+		cow, err := o.run(core.LelantusCoW, script, nil)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(bytes,
+			lel.SpeedupVs(base), cow.SpeedupVs(base),
+			100*lel.WriteReductionVs(base), 100*cow.WriteReductionVs(base))
+	}
+	notes := []string{}
+	if huge {
+		notes = append(notes, "paper: 67.53x at 1 byte, 1.10x whole page; writes 0.20%-50.76%")
+	} else {
+		notes = append(notes, "paper: 3.33x at 1 byte, 1.11x whole page; writes 14.14%-53.45%")
+	}
+	return &Report{ID: "fig11-" + mode, Title: "forkbench sensitivity", Table: t, Notes: notes}, nil
+}
+
+// Fig12 reproduces the counter-cache write-strategy study on Redis:
+// write-through versus battery-backed write-back, Baseline versus
+// Lelantus, for both page sizes.
+func Fig12(o Options) (*Report, error) {
+	t := stats.NewTable("Fig. 12 — encryption-counter write strategy (redis)",
+		"page", "strategy", "baseline-ms", "lelantus-ms", "speedup")
+	for _, pm := range pageModes() {
+		for _, mode := range []ctrcache.Mode{ctrcache.WriteThrough, ctrcache.WriteBack} {
+			script := workload.Redis(pm.Huge, o.Seed)
+			mut := func(c *sim.Config) { c.Mem.CtrCacheMode = mode }
+			base, err := o.run(core.Baseline, script, mut)
+			if err != nil {
+				return nil, err
+			}
+			lel, err := o.run(core.Lelantus, script, mut)
+			if err != nil {
+				return nil, err
+			}
+			t.Add(pm.Name, mode.String(),
+				float64(base.ExecNs)/1e6, float64(lel.ExecNs)/1e6,
+				lel.SpeedupVs(base))
+		}
+	}
+	return &Report{
+		ID:    "fig12",
+		Title: "Write-through vs write-back counter cache",
+		Table: t,
+		Notes: []string{
+			"paper: Lelantus speedup 2.07x (WT) / 3.16x (WB) on 4KB; 5.83x / 20.94x on 2MB",
+		},
+	}, nil
+}

@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"fmt"
+
+	"lelantus/internal/core"
+	"lelantus/internal/ctr"
+	"lelantus/internal/mem"
+	"lelantus/internal/memctrl"
+	"lelantus/internal/sim"
+	"lelantus/internal/stats"
+	"lelantus/internal/workload"
+)
+
+// TableI reproduces the encoding-scheme comparison: minor-counter
+// overflow behaviour, metadata space overhead, and extra read/write
+// traffic of the two Lelantus encodings, measured on a CoW-heavy run with
+// randomly initialised counters.
+func TableI(o Options) (*Report, error) {
+	t := stats.NewTable("Table I — CoW encoding schemes",
+		"encoding", "minor-overflow-vs-classic", "space-overhead", "extra-rw-traffic")
+	// The journal stress re-writes CoW-page lines hundreds of times with
+	// non-temporal stores, the pattern that actually exercises minor
+	// counter widths (cache-resident rewrites never reach the counters).
+	script := workload.Journal(false, o.Seed)
+	run := func(s core.Scheme) (sim.Result, error) {
+		return o.run(s, script, func(c *sim.Config) {
+			c.Mem.Core.RandomInitCounters = true
+		})
+	}
+	// The classic-layout reference: Lelantus-CoW's 7-bit minors.
+	ref, err := run(core.LelantusCoW)
+	if err != nil {
+		return nil, err
+	}
+	baseRate := rate(ref.Engine.Overflows, ref.Engine.MinorIncrements)
+
+	for _, s := range []core.Scheme{core.Lelantus, core.LelantusCoW} {
+		res, err := run(s)
+		if err != nil {
+			return nil, err
+		}
+		r := rate(res.Engine.Overflows, res.Engine.MinorIncrements)
+		rel := "-"
+		if baseRate > 0 {
+			rel = fmt.Sprintf("%.0f%%", 100*r/baseRate)
+		} else if r == 0 {
+			rel = "=0"
+		}
+		var space string
+		var extra string
+		switch s {
+		case core.Lelantus:
+			space = "none (counter block resized)"
+			extra = fmt.Sprintf("%d meta-line transfers", 0)
+		case core.LelantusCoW:
+			space = fmt.Sprintf("%.2f%% (8B per 4KB page)", 100*8.0/float64(mem.PageBytes))
+			extra = fmt.Sprintf("%d meta-line transfers", res.Engine.CoWMetaReads+res.Engine.CoWMetaWrite)
+		}
+		t.Add(s.String(), rel, space, extra)
+	}
+	return &Report{
+		ID:    "tableI",
+		Title: "Comparison of the two CoW encoding schemes",
+		Table: t,
+		Notes: []string{
+			"paper: resizing doubles the overflow rate (200%) with no space cost; supplementary metadata keeps the classic rate (0.07%) for 0.02% space and medium extra traffic",
+		},
+	}, nil
+}
+
+func rate(a, b uint64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// TableIII prints the simulated system configuration.
+func TableIII(Options) (*Report, error) {
+	cfg := memctrl.DefaultConfig(core.Lelantus)
+	t := stats.NewTable("Table III — simulated system configuration",
+		"component", "parameters")
+	t.Add("Processor", "single-issue timing model, 1GHz, 1 cycle = 1ns")
+	t.Add("L1 Cache", fmt.Sprintf("%d ns, %d KB, %d-way, LRU, 64B block", cfg.Cache.L1Ns, cfg.Cache.L1Bytes>>10, cfg.Cache.Ways))
+	t.Add("L2 Cache", fmt.Sprintf("%d ns, %d KB, %d-way, LRU, 64B block", cfg.Cache.L2Ns, cfg.Cache.L2Bytes>>10, cfg.Cache.Ways))
+	t.Add("L3 Cache", fmt.Sprintf("%d ns, %d MB, %d-way, LRU, 64B block", cfg.Cache.L3Ns, cfg.Cache.L3Bytes>>20, cfg.Cache.Ways))
+	t.Add("Main Memory", fmt.Sprintf("%d GB, %d ranks, %d banks", cfg.MemBytes>>30, cfg.NVM.Ranks, cfg.NVM.BanksPerRank))
+	t.Add("PM Latency", fmt.Sprintf("%dns read, %dns write", cfg.NVM.ReadNs, cfg.NVM.WriteNs))
+	t.Add("Page Size", "4KB, 2MB")
+	t.Add("Counter Cache", fmt.Sprintf("%d KB, %d-way, LRU, 64B block", cfg.CtrCacheBytes>>10, cfg.CtrCacheWays))
+	t.Add("AES Latency", fmt.Sprintf("%d cycles, overlapped with data fetch", cfg.Core.AESLatencyNs))
+	t.Add("Counter Block", fmt.Sprintf("%dB: classic 64b major + 64 x 7b minor; resized adds CoW flag/src", ctr.BlockBytes))
+	return &Report{ID: "tableIII", Title: "Configuration of the simulated system", Table: t}, nil
+}
+
+// TableIV prints the benchmark catalogue.
+func TableIV(Options) (*Report, error) {
+	t := stats.NewTable("Table IV — copy/initialization-intensive benchmarks",
+		"name", "description")
+	for _, spec := range workload.Catalogue() {
+		t.Add(spec.Name, spec.Description)
+	}
+	return &Report{ID: "tableIV", Title: "Benchmarks", Table: t}, nil
+}
+
+// TableV reproduces the copy/initialisation traffic share per workload,
+// measured on the Baseline machine (the share is a property of the
+// workload, not of the CoW scheme).
+func TableV(o Options) (*Report, error) {
+	t := stats.NewTable("Table V — percentage of copy and initialization traffic",
+		"workload", "copy+init traffic", "paper")
+	paper := map[string]string{
+		"boot": "51.96%", "compile": "46.32%", "forkbench": "82.77%",
+		"redis": "71.57%", "mariadb": "48.11%", "shell": "59.1%",
+		"non-copy": "-",
+	}
+	for _, spec := range workload.Catalogue() {
+		res, err := o.fig9Run(spec, core.Baseline, false)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(spec.Name, fmt.Sprintf("%.2f%%", 100*res.CopyInitShare), paper[spec.Name])
+	}
+	return &Report{
+		ID:    "tableV",
+		Title: "Copy/initialisation traffic share",
+		Table: t,
+		Notes: []string{"measured over the full run including the setup phase, as in the paper"},
+	}, nil
+}

@@ -1,0 +1,252 @@
+package kernel
+
+import (
+	"errors"
+	"fmt"
+
+	"lelantus/internal/core"
+	"lelantus/internal/mem"
+)
+
+// allocUnit allocates one mapping unit (4 KB frame or 2 MB run).
+func (k *Kernel) allocUnit(huge bool) (uint64, error) {
+	if huge {
+		return k.alloc.AllocHuge()
+	}
+	return k.alloc.Alloc()
+}
+
+func unitFrames(huge bool) uint64 {
+	if huge {
+		return mem.FramesPerHuge
+	}
+	return 1
+}
+
+// usesCommands reports whether the scheme replaces page copies with
+// metadata commands.
+func (k *Kernel) usesCommands() bool {
+	return k.scheme == core.Lelantus || k.scheme == core.LelantusCoW
+}
+
+// wpFault is the write-protect fault handler (paper Fig. 8): it
+// distinguishes the demand-zero case, the shared-page CoW case, and the
+// exclusively-owned case whose reuse Lelantus delays until the pending
+// copies of former sharers are materialised (early reclamation of the
+// source page, Section III-D).
+func (k *Kernel) wpFault(now uint64, p *Process, vma *VMA, pte *PTE, va uint64) (uint64, error) {
+	start := now
+	now += k.cfg.FaultNs
+	defer func() { k.Stats.FaultNs += now - start }()
+
+	unitBase := va &^ (uint64(mem.PageBytes) - 1)
+	if vma.Huge {
+		unitBase = va &^ (uint64(mem.HugePageBytes) - 1)
+	}
+	// The fix-up changes the translation (frame and/or permissions).
+	p.TLB.Invalidate(vpnOf(vma, va), vma.Huge)
+
+	switch {
+	case k.isZeroFrame(pte.PFN, vma.Huge):
+		return k.zeroFault(now, vma, pte, unitBase)
+	default:
+		info := k.pages[pte.PFN]
+		if info == nil {
+			return now, fmt.Errorf("kernel: write-protected frame %#x has no page info", pte.PFN)
+		}
+		if info.MapCount > 1 {
+			return k.cowFault(now, vma, pte, info, unitBase)
+		}
+		return k.reuseFault(now, pte, info)
+	}
+}
+
+// zeroFault materialises a demand-zero unit: a fresh frame that must read
+// as zeros. Baseline writes the zeros; Silent Shredder and the Lelantus
+// schemes issue page_init commands instead.
+func (k *Kernel) zeroFault(now uint64, vma *VMA, pte *PTE, unitBase uint64) (uint64, error) {
+	k.Stats.ZeroFaults++
+	newBase, err := k.allocUnit(vma.Huge)
+	if err != nil {
+		k.Stats.OOMs++
+		return now, err
+	}
+	n := unitFrames(vma.Huge)
+	for f := uint64(0); f < n; f++ {
+		dst := newBase + f
+		k.Stats.PagesInited++
+		if k.scheme == core.Baseline {
+			if now, err = k.ctl.ZeroPageFull(now, dst, vma.Huge); err != nil {
+				return now, err
+			}
+			continue
+		}
+		// The frame may carry stale cached lines from a previous life; the
+		// metadata-only initialisation does not overwrite them, so drop.
+		k.ctl.InvalidatePage(dst)
+		if now, err = k.ctl.PageInit(now, dst); err != nil {
+			return now, err
+		}
+	}
+	k.pages[newBase] = &PageInfo{MapCount: 1, Huge: vma.Huge, AG: vma.AG, Vaddr: unitBase}
+	pte.PFN = newBase
+	pte.Writable = true
+	return now, nil
+}
+
+// cowFault resolves a write to a shared page: a private copy is created.
+// Baseline and Silent Shredder copy all the data (huge units with
+// non-temporal stores); the Lelantus schemes flush the source, invalidate
+// the destination and issue one page_copy per 4 KB constituent — the
+// paper's "the kernel translates the copy of a huge page into a set of
+// physical page copy operations".
+func (k *Kernel) cowFault(now uint64, vma *VMA, pte *PTE, info *PageInfo, unitBase uint64) (uint64, error) {
+	k.Stats.CoWFaults++
+	srcBase := pte.PFN
+	newBase, err := k.allocUnit(vma.Huge)
+	if err != nil {
+		k.Stats.OOMs++
+		return now, err
+	}
+	n := unitFrames(vma.Huge)
+	for f := uint64(0); f < n; f++ {
+		src, dst := srcBase+f, newBase+f
+		k.Stats.PagesCopied++
+		if k.cfg.TrackFootprints {
+			k.ctl.Engine.Track(dst)
+		}
+		if k.usesCommands() {
+			if now, err = k.ctl.FlushPage(now, src); err != nil {
+				return now, err
+			}
+			k.ctl.InvalidatePage(dst)
+			if now, err = k.ctl.PageCopy(now, src, dst); err != nil {
+				return now, err
+			}
+		} else {
+			if now, err = k.ctl.CopyPageFull(now, src, dst, vma.Huge); err != nil {
+				return now, err
+			}
+		}
+	}
+	info.MapCount--
+	info.everShared = true
+	k.pages[newBase] = &PageInfo{MapCount: 1, Huge: vma.Huge, AG: vma.AG, Vaddr: unitBase}
+	pte.PFN = newBase
+	pte.Writable = true
+	return now, nil
+}
+
+// reuseFault handles a write to a protected page whose map count dropped
+// to one. Baseline's wp_page_reuse just re-enables writes. Lelantus first
+// walks the reverse map for pages copied from this one and issues
+// page_phyc so their pending line copies are materialised before the
+// source changes underneath them (Fig. 8, right).
+func (k *Kernel) reuseFault(now uint64, pte *PTE, info *PageInfo) (uint64, error) {
+	k.Stats.ReuseFaults++
+	if k.usesCommands() && info.everShared {
+		var err error
+		if now, err = k.reclaimDependents(now, pte.PFN, info); err != nil {
+			return now, err
+		}
+	}
+	pte.Writable = true
+	return now, nil
+}
+
+// reclaimDependents performs the reverse lookup of Section III-D: every
+// process reachable through the page's anon_vma (or KSM stable node) is
+// probed at the page's virtual address; any different frame mapped there
+// is a potential copy, and a page_phyc command lets the controller verify
+// and materialise it. Stale candidates are no-ops by design.
+func (k *Kernel) reclaimDependents(now, srcBase uint64, info *PageInfo) (uint64, error) {
+	candidates := make(map[uint64]bool)
+	addCandidate := func(pid Pid, va uint64, huge bool) {
+		p := k.procs[pid]
+		if p == nil {
+			return
+		}
+		var pte *PTE
+		if huge {
+			pte = p.PTH[va>>mem.HugeShift]
+		} else {
+			pte = p.PT[va>>mem.PageShift]
+		}
+		if pte != nil && pte.PFN != srcBase && !k.isZeroFrame(pte.PFN, huge) {
+			candidates[pte.PFN] = true
+		}
+	}
+	if info.KSM != nil {
+		for _, ref := range info.KSM.Mappers {
+			addCandidate(ref.PID, ref.Vaddr, false)
+		}
+	}
+	if info.AG != nil {
+		for pid := range info.AG.members {
+			addCandidate(pid, info.Vaddr, info.Huge)
+		}
+	}
+	n := unitFrames(info.Huge)
+	var err error
+	for cand := range candidates {
+		for f := uint64(0); f < n; f++ {
+			k.Stats.PhycCommands++
+			if now, _, err = k.ctl.PagePhyc(now, srcBase+f, cand+f); err != nil {
+				return now, err
+			}
+		}
+	}
+	return now, nil
+}
+
+// freeUnit releases a mapping unit whose map count reached zero. A source
+// page that was ever shared first materialises its dependents; then the
+// page_free command cancels any pending copies *into* the page and resets
+// its metadata epoch.
+func (k *Kernel) freeUnit(now, base uint64, info *PageInfo) (uint64, error) {
+	var err error
+	if k.usesCommands() && info.everShared {
+		if now, err = k.reclaimDependents(now, base, info); err != nil {
+			return now, err
+		}
+	}
+	n := unitFrames(info.Huge)
+	for f := uint64(0); f < n; f++ {
+		pfn := base + f
+		if k.scheme != core.Baseline {
+			// No cache maintenance here: stale dirty lines of the dead page
+			// may still write back naturally (that cost is real); they are
+			// dropped when the frame is invalidated at its next allocation
+			// (Section IV-B), and the page_free metadata reset makes any
+			// late write-back harmless to the next owner.
+			k.Stats.FreeCommands++
+			if now, err = k.ctl.PageFree(now, pfn); err != nil && !errors.Is(err, core.ErrUnsupported) {
+				return now, err
+			}
+		}
+	}
+	delete(k.pages, base)
+	if info.Huge {
+		k.alloc.FreeHuge(base)
+	} else {
+		k.alloc.Free(base)
+	}
+	return now, nil
+}
+
+// unmapPTE removes one mapping, freeing the frame when the last mapping
+// disappears.
+func (k *Kernel) unmapPTE(now uint64, huge bool, pte *PTE) (uint64, error) {
+	if k.isZeroFrame(pte.PFN, huge) {
+		return now, nil
+	}
+	info := k.pages[pte.PFN]
+	if info == nil {
+		return now, fmt.Errorf("kernel: unmapping frame %#x without page info", pte.PFN)
+	}
+	info.MapCount--
+	if info.MapCount > 0 {
+		return now, nil
+	}
+	return k.freeUnit(now, pte.PFN, info)
+}

@@ -1,0 +1,170 @@
+package memctrl
+
+import (
+	"testing"
+
+	"lelantus/internal/core"
+	"lelantus/internal/ctrcache"
+	"lelantus/internal/mem"
+	"lelantus/internal/nvm"
+)
+
+func nvmQueueCfg() nvm.QueueConfig { return nvm.DefaultQueueConfig() }
+
+func crashCtl(t *testing.T, scheme core.Scheme, mode ctrcache.Mode) *Controller {
+	t.Helper()
+	cfg := DefaultConfig(scheme)
+	cfg.MemBytes = 16 << 20
+	cfg.CtrCacheMode = mode
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestCrashBatteryBackedRecovers: the paper's default write-back counter
+// cache is battery backed; after a power cycle all data written before the
+// crash reads back correctly.
+func TestCrashBatteryBackedRecovers(t *testing.T) {
+	for _, s := range core.Schemes() {
+		t.Run(s.String(), func(t *testing.T) {
+			c := crashCtl(t, s, ctrcache.WriteBack)
+			var line [mem.LineBytes]byte
+			line[0] = 0x77
+			if _, err := c.StoreNT(0, 0x4000, &line); err != nil {
+				t.Fatal(err)
+			}
+			c.Crash(true)
+			got, _, err := c.Load(0, 0x4000)
+			if err != nil {
+				t.Fatalf("read after battery-backed crash: %v", err)
+			}
+			if got[0] != 0x77 {
+				t.Fatalf("data lost: %#x", got[0])
+			}
+		})
+	}
+}
+
+// TestCrashWriteThroughRecovers: write-through counters are always durable
+// regardless of batteries (Fig. 12's trade-off: pay writes, gain crash
+// consistency for free).
+func TestCrashWriteThroughRecovers(t *testing.T) {
+	c := crashCtl(t, core.Lelantus, ctrcache.WriteThrough)
+	var line [mem.LineBytes]byte
+	line[0] = 0x55
+	if _, err := c.StoreNT(0, 0x8000, &line); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(false) // no battery, no drain
+	got, _, err := c.Load(0, 0x8000)
+	if err != nil {
+		t.Fatalf("read after WT crash: %v", err)
+	}
+	if got[0] != 0x55 {
+		t.Fatalf("data lost: %#x", got[0])
+	}
+}
+
+// TestCrashWriteBackWithoutBatteryDetected: losing dirty counter updates
+// leaves NVM data encrypted under counters newer than the NVM-resident
+// counter blocks. The mismatch must be *detected* on the next read (MAC
+// failure) — stale counters silently decrypting garbage would be a
+// correctness and security disaster (the Osiris/Anubis problem).
+func TestCrashWriteBackWithoutBatteryDetected(t *testing.T) {
+	c := crashCtl(t, core.Lelantus, ctrcache.WriteBack)
+	var line [mem.LineBytes]byte
+	// First write: persist everything (establish an NVM-resident counter
+	// epoch), so the block is clean in NVM.
+	line[0] = 1
+	if _, err := c.StoreNT(0, 0xC000, &line); err != nil {
+		t.Fatal(err)
+	}
+	c.Engine.DrainMetadata()
+	// Second write: data reaches NVM, counter increment stays dirty in the
+	// (volatile, unbattery-backed) counter cache.
+	line[0] = 2
+	if _, err := c.StoreNT(0, 0xC000, &line); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(false)
+	if _, _, err := c.Load(0, 0xC000); err == nil {
+		t.Fatal("stale counter decrypted silently after crash; must be detected")
+	}
+}
+
+// TestCrashPreservesCoWMappings: the supplementary CoW table lives in NVM;
+// a battery-backed crash must not lose source mappings (uncopied lines
+// still redirect afterwards).
+func TestCrashPreservesCoWMappings(t *testing.T) {
+	for _, s := range []core.Scheme{core.Lelantus, core.LelantusCoW} {
+		t.Run(s.String(), func(t *testing.T) {
+			c := crashCtl(t, s, ctrcache.WriteBack)
+			var line [mem.LineBytes]byte
+			for i := 0; i < mem.LinesPerPage; i++ {
+				line[0] = byte(i)
+				if _, err := c.StoreNT(0, mem.LineAddr(3, i), &line); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if _, err := c.PageCopy(0, 3, 5); err != nil {
+				t.Fatal(err)
+			}
+			c.Crash(true)
+			got, _, err := c.Load(0, mem.LineAddr(5, 7))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got[0] != 7 {
+				t.Fatalf("CoW redirect lost across crash: %#x", got[0])
+			}
+		})
+	}
+}
+
+// TestWriteQueueEndToEnd drives the controller with a merging write queue:
+// functional behaviour is unchanged and merging absorbs device writes.
+func TestWriteQueueEndToEnd(t *testing.T) {
+	cfg := DefaultConfig(core.Lelantus)
+	cfg.MemBytes = 16 << 20
+	q := nvmQueueCfg()
+	cfg.WriteQueue = &q
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var line [mem.LineBytes]byte
+	for i := 0; i < 20; i++ {
+		line[0] = byte(i)
+		if _, err := c.StoreNT(0, 0x4000, &line); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Queue.Merged == 0 {
+		t.Fatal("repeated writes to one line must merge in the queue")
+	}
+	got, _, err := c.Load(0, 0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 19 {
+		t.Fatalf("read %#x, want 0x13", got[0])
+	}
+	if err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Queue.Occupancy() != 0 {
+		t.Fatal("drain must flush the queue")
+	}
+	// Battery-backed crash flushes; data survives.
+	line[0] = 0x31
+	if _, err := c.StoreNT(0, 0x8000, &line); err != nil {
+		t.Fatal(err)
+	}
+	c.Crash(true)
+	got, _, err = c.Load(0, 0x8000)
+	if err != nil || got[0] != 0x31 {
+		t.Fatalf("after battery crash: %v %#x", err, got[0])
+	}
+}

@@ -1,0 +1,97 @@
+package nvm
+
+import "testing"
+
+func qcfg() QueueConfig {
+	return QueueConfig{Entries: 8, DrainAt: 4, DrainTo: 1, AckNs: 5, ForwardNs: 10}
+}
+
+func TestQueueFastAck(t *testing.T) {
+	q := NewQueue(qcfg(), New(DefaultConfig()))
+	if done := q.Write(100, 0); done != 105 {
+		t.Fatalf("ack = %d, want 105", done)
+	}
+	if q.Device().Writes != 0 {
+		t.Fatal("write must be buffered, not issued")
+	}
+}
+
+func TestQueueMerging(t *testing.T) {
+	q := NewQueue(qcfg(), New(DefaultConfig()))
+	q.Write(0, 0x1000)
+	q.Write(0, 0x1000)
+	q.Write(0, 0x1020) // same 64B line as 0x1000? no: 0x1000 vs 0x1020 same line (0x1000..0x103f)
+	if q.Merged != 2 {
+		t.Fatalf("Merged = %d, want 2", q.Merged)
+	}
+	if q.Occupancy() != 1 {
+		t.Fatalf("occupancy = %d, want 1", q.Occupancy())
+	}
+	q.Flush(0)
+	if q.Device().Writes != 1 {
+		t.Fatalf("device writes = %d, want 1 (merged)", q.Device().Writes)
+	}
+}
+
+func TestQueueForwarding(t *testing.T) {
+	q := NewQueue(qcfg(), New(DefaultConfig()))
+	q.Write(0, 0x2000)
+	if done := q.Read(0, 0x2010); done != 10 {
+		t.Fatalf("forwarded read = %d, want 10", done)
+	}
+	if q.Forwarded != 1 || q.Device().Reads != 0 {
+		t.Fatal("read must be forwarded from the queue")
+	}
+	// A read to a non-pending line goes to the device.
+	q.Read(0, 0x9000)
+	if q.Device().Reads != 1 {
+		t.Fatal("non-pending read must reach the device")
+	}
+}
+
+func TestQueueDrainWatermark(t *testing.T) {
+	q := NewQueue(qcfg(), New(DefaultConfig()))
+	var done uint64
+	for i := 0; i < 4; i++ { // 4th write hits DrainAt=4
+		done = q.Write(0, uint64(i)*4096)
+	}
+	if q.Drains != 1 {
+		t.Fatalf("Drains = %d, want 1", q.Drains)
+	}
+	if q.Occupancy() != 1 {
+		t.Fatalf("post-drain occupancy = %d, want DrainTo=1", q.Occupancy())
+	}
+	if q.Device().Writes != 3 {
+		t.Fatalf("device writes = %d, want 3", q.Device().Writes)
+	}
+	if done <= 5 {
+		t.Fatal("a drain must block the writer")
+	}
+}
+
+func TestQueueFlush(t *testing.T) {
+	q := NewQueue(qcfg(), New(DefaultConfig()))
+	q.Write(0, 0)
+	q.Write(0, 4096)
+	q.Flush(0)
+	if q.Occupancy() != 0 || q.Device().Writes != 2 {
+		t.Fatalf("flush left occupancy=%d writes=%d", q.Occupancy(), q.Device().Writes)
+	}
+}
+
+func TestQueueConfigSanitised(t *testing.T) {
+	q := NewQueue(QueueConfig{}, New(DefaultConfig()))
+	// Degenerate config must not panic or deadlock.
+	for i := 0; i < 10; i++ {
+		q.Write(0, uint64(i)*4096)
+	}
+	q.Flush(0)
+	if q.Device().Writes != 10 {
+		t.Fatalf("writes = %d", q.Device().Writes)
+	}
+}
+
+func TestDeviceImplementsMemory(t *testing.T) {
+	var _ Memory = New(DefaultConfig())
+	var _ Memory = NewQueue(qcfg(), New(DefaultConfig()))
+}

@@ -1,0 +1,287 @@
+// Package sim binds the kernel, cache hierarchy and secure memory
+// controller into a runnable machine and executes workload scripts against
+// it, producing the measurements the experiment harness reports.
+package sim
+
+import (
+	"fmt"
+
+	"lelantus/internal/core"
+	"lelantus/internal/kernel"
+	"lelantus/internal/mem"
+	"lelantus/internal/memctrl"
+	"lelantus/internal/workload"
+)
+
+// Config assembles a machine.
+type Config struct {
+	Mem    memctrl.Config
+	Kernel kernel.Config
+}
+
+// DefaultConfig returns the paper's Table III machine for a scheme.
+func DefaultConfig(scheme core.Scheme) Config {
+	return Config{
+		Mem:    memctrl.DefaultConfig(scheme),
+		Kernel: kernel.DefaultConfig(),
+	}
+}
+
+// Result is the measured phase of one run.
+type Result struct {
+	Workload string
+	Scheme   core.Scheme
+	PageMode string
+
+	ExecNs uint64
+
+	// Device-level NVM traffic (all regions).
+	NVMReads, NVMWrites uint64
+
+	// Engine-level event deltas for the measured phase.
+	Engine core.Stats
+
+	// Kernel events for the measured phase.
+	Kernel kernel.Stats
+
+	// CPU-visible request counts.
+	CPUReads, CPUWrites uint64
+
+	// Metadata-cache behaviour over the whole run.
+	CtrMissRate  float64
+	CoWMissRate  float64
+	CtrOverflows uint64
+
+	// Copy/initialisation share of all memory requests (Table V).
+	CopyInitShare float64
+
+	// TLBWalks counts page-table walks in the measured phase.
+	TLBWalks uint64
+
+	// MaxWear is the hottest line's write count (when wear tracking on).
+	MaxWear uint32
+}
+
+// WriteReductionVs returns this result's NVM write count relative to a
+// baseline run (lower is better; the paper reports e.g. 42.78%).
+func (r Result) WriteReductionVs(base Result) float64 {
+	if base.NVMWrites == 0 {
+		return 0
+	}
+	return float64(r.NVMWrites) / float64(base.NVMWrites)
+}
+
+// SpeedupVs returns baseline execution time divided by this run's.
+func (r Result) SpeedupVs(base Result) float64 {
+	if r.ExecNs == 0 {
+		return 0
+	}
+	return float64(base.ExecNs) / float64(r.ExecNs)
+}
+
+// Machine is one simulated system instance.
+type Machine struct {
+	cfg  Config
+	Ctl  *memctrl.Controller
+	Kern *kernel.Kernel
+
+	now     uint64
+	procs   []kernel.Pid
+	regions []uint64
+	procNs  []uint64 // simulated time attributed to each process slot
+}
+
+// NewMachine builds a machine from the configuration.
+func NewMachine(cfg Config) (*Machine, error) {
+	ctl, err := memctrl.New(cfg.Mem)
+	if err != nil {
+		return nil, err
+	}
+	k, err := kernel.New(cfg.Kernel, ctl)
+	if err != nil {
+		return nil, err
+	}
+	return &Machine{cfg: cfg, Ctl: ctl, Kern: k}, nil
+}
+
+// Now returns the machine clock in nanoseconds.
+func (m *Machine) Now() uint64 { return m.now }
+
+// Pid resolves a script process slot to its kernel pid.
+func (m *Machine) Pid(slot int) kernel.Pid { return m.procs[slot] }
+
+// Region resolves a script region slot to its base virtual address.
+func (m *Machine) Region(slot int) uint64 { return m.regions[slot] }
+
+type snapshot struct {
+	nvmReads, nvmWrites  uint64
+	engine               core.Stats
+	kern                 kernel.Stats
+	cpuReads, cpuWrites  uint64
+	demand, copyT, initT uint64
+	nowNs                uint64
+	procNs               []uint64
+	tlbWalks             uint64
+}
+
+func (m *Machine) snap() snapshot {
+	demand, copyT, initT := m.Ctl.TrafficByContext()
+	return snapshot{
+		nvmReads:  m.Ctl.Dev.Reads,
+		nvmWrites: m.Ctl.Dev.Writes,
+		engine:    m.Ctl.Engine.Stats,
+		kern:      m.Kern.Stats,
+		cpuReads:  m.Ctl.CPUReads,
+		cpuWrites: m.Ctl.CPUWrites,
+		demand:    demand,
+		copyT:     copyT,
+		initT:     initT,
+		nowNs:     m.now,
+		procNs:    append([]uint64(nil), m.procNs...),
+		tlbWalks:  m.Kern.TLBWalks(),
+	}
+}
+
+// Run executes a script to completion and returns the measured-phase
+// result (from the BeginMeasure op, or the whole run without one).
+func (m *Machine) Run(s workload.Script) (Result, error) {
+	m.procs = make([]kernel.Pid, s.Procs)
+	m.regions = make([]uint64, s.Regions)
+	m.procNs = make([]uint64, s.Procs)
+
+	begin := m.snap()
+	var end *snapshot
+	var buf [mem.LineBytes]byte
+	var err error
+	for idx, op := range s.Ops {
+		opStart := m.now
+		switch op.Kind {
+		case workload.OpSpawn:
+			m.procs[op.Proc] = m.Kern.Spawn()
+		case workload.OpMmap:
+			var va uint64
+			va, m.now, err = m.Kern.Mmap(m.now, m.procs[op.Proc], op.Bytes, op.Huge)
+			if err == nil {
+				m.regions[op.Region] = va
+			}
+		case workload.OpLoad:
+			m.now, err = m.Kern.Read(m.now, m.procs[op.Proc], m.regions[op.Region]+op.Off, buf[:clampSize(op.Size)])
+		case workload.OpStore:
+			data := buf[:clampSize(op.Size)]
+			for i := range data {
+				data[i] = op.Val
+			}
+			m.now, err = m.Kern.Write(m.now, m.procs[op.Proc], m.regions[op.Region]+op.Off, data)
+		case workload.OpStoreNT:
+			var line [mem.LineBytes]byte
+			for i := range line {
+				line[i] = op.Val
+			}
+			m.now, err = m.Kern.WriteLineNT(m.now, m.procs[op.Proc], m.regions[op.Region]+op.Off, &line)
+		case workload.OpFork:
+			var child kernel.Pid
+			child, m.now, err = m.Kern.Fork(m.now, m.procs[op.Proc])
+			if err == nil {
+				m.procs[op.NewProc] = child
+			}
+		case workload.OpExit:
+			m.now, err = m.Kern.Exit(m.now, m.procs[op.Proc])
+		case workload.OpMunmap:
+			m.now, err = m.Kern.Munmap(m.now, m.procs[op.Proc], m.regions[op.Region]+op.Off, op.Bytes)
+		case workload.OpKSM:
+			refs := make([]kernel.PageRef, len(op.Procs))
+			for i, ps := range op.Procs {
+				refs[i] = kernel.PageRef{PID: m.procs[ps], Vaddr: m.regions[op.Region] + op.Off}
+			}
+			_, m.now, err = m.Kern.KSMMerge(m.now, refs)
+		case workload.OpCompute:
+			m.now += op.Ns
+		case workload.OpBeginMeasure:
+			// Quiesce first: dirty cache and metadata state left over from
+			// the setup phase would otherwise drain inside the measured
+			// window of whichever scheme did not happen to flush it
+			// earlier (e.g. Lelantus flushes at fork, Baseline never does).
+			if err = m.Ctl.Drain(); err == nil {
+				begin = m.snap()
+			}
+		case workload.OpEndMeasure:
+			if err = m.Ctl.Drain(); err == nil {
+				s := m.snap()
+				end = &s
+			}
+		default:
+			err = fmt.Errorf("sim: unknown op kind %d", op.Kind)
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: op %d (%s): %w", idx, op, err)
+		}
+		if op.Kind != workload.OpBeginMeasure && op.Kind != workload.OpEndMeasure {
+			m.procNs[op.Proc] += m.now - opStart
+		}
+	}
+	if err := m.Ctl.Drain(); err != nil {
+		return Result{}, fmt.Errorf("sim: drain: %w", err)
+	}
+	if end == nil {
+		s := m.snap()
+		end = &s
+	}
+
+	execNs := end.nowNs - begin.nowNs
+	if s.MeasureProc >= 0 && s.MeasureProc < len(end.procNs) {
+		execNs = end.procNs[s.MeasureProc]
+		if s.MeasureProc < len(begin.procNs) {
+			execNs -= begin.procNs[s.MeasureProc]
+		}
+	}
+	res := Result{
+		Workload:     s.Name,
+		Scheme:       m.cfg.Mem.Core.Scheme,
+		ExecNs:       execNs,
+		NVMReads:     end.nvmReads - begin.nvmReads,
+		NVMWrites:    end.nvmWrites - begin.nvmWrites,
+		Engine:       end.engine.Sub(begin.engine),
+		Kernel:       end.kern.Sub(begin.kern),
+		CPUReads:     end.cpuReads - begin.cpuReads,
+		CPUWrites:    end.cpuWrites - begin.cpuWrites,
+		CtrMissRate:  m.Ctl.Engine.CtrCache.MissRate(),
+		CoWMissRate:  m.Ctl.Engine.CoWCache.MissRate(),
+		CtrOverflows: end.engine.Overflows - begin.engine.Overflows,
+		TLBWalks:     end.tlbWalks - begin.tlbWalks,
+	}
+	dd := end.demand - begin.demand
+	dc := end.copyT - begin.copyT
+	di := end.initT - begin.initT
+	if tot := dd + dc + di; tot > 0 {
+		res.CopyInitShare = float64(dc+di) / float64(tot)
+	}
+	if w, _ := m.Ctl.Dev.MaxWear(); w > 0 {
+		res.MaxWear = w
+	}
+	return res, nil
+}
+
+func clampSize(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	if n > mem.LineBytes {
+		return mem.LineBytes
+	}
+	return n
+}
+
+// RunOne builds a fresh default machine for the scheme and runs the script
+// on it (one-shot convenience used throughout the experiments).
+func RunOne(scheme core.Scheme, s workload.Script) (Result, error) {
+	return RunWith(DefaultConfig(scheme), s)
+}
+
+// RunWith builds a fresh machine from cfg and runs the script on it.
+func RunWith(cfg Config, s workload.Script) (Result, error) {
+	m, err := NewMachine(cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	return m.Run(s)
+}

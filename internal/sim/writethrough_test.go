@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"testing"
+
+	"lelantus/internal/core"
+	"lelantus/internal/ctrcache"
+	"lelantus/internal/mem"
+	"lelantus/internal/workload"
+)
+
+// TestWriteThroughCorrectAndSlower runs the same CoW-heavy script under
+// both counter write strategies: results must be functionally identical
+// and write-through must cost more counter writes and more time (Fig. 12's
+// premise).
+func TestWriteThroughCorrectAndSlower(t *testing.T) {
+	script := workload.Forkbench(workload.ForkbenchParams{
+		RegionBytes: 2 << 20, BytesPerUnit: 16, ChildExits: true,
+	})
+	run := func(mode ctrcache.Mode) Result {
+		cfg := smallConfig(core.Lelantus)
+		cfg.Mem.CtrCacheMode = mode
+		res, err := RunWith(cfg, script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	wb := run(ctrcache.WriteBack)
+	wt := run(ctrcache.WriteThrough)
+	if wt.Engine.CtrWrites <= wb.Engine.CtrWrites {
+		t.Fatalf("write-through counter writes (%d) must exceed write-back (%d)",
+			wt.Engine.CtrWrites, wb.Engine.CtrWrites)
+	}
+	if wt.ExecNs < wb.ExecNs {
+		t.Fatalf("write-through (%d ns) must not beat write-back (%d ns)", wt.ExecNs, wb.ExecNs)
+	}
+	// Same functional work either way.
+	if wt.Kernel.CoWFaults != wb.Kernel.CoWFaults || wt.Engine.PageCopies != wb.Engine.PageCopies {
+		t.Fatal("write strategy changed functional behaviour")
+	}
+}
+
+// TestNonSecureEndToEnd runs a fork workload in non-secure mode: same
+// functional behaviour, no pads generated.
+func TestNonSecureEndToEnd(t *testing.T) {
+	cfg := smallConfig(core.Lelantus)
+	cfg.Mem.Core.NonSecure = true
+	m, err := NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := m.Run(workload.Forkbench(workload.ForkbenchParams{
+		RegionBytes: 1 << 20, BytesPerUnit: 8, ChildExits: true,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Ctl.Engine.Enc.Pads != 0 {
+		t.Fatalf("non-secure run generated %d pads", m.Ctl.Engine.Enc.Pads)
+	}
+	if res.Kernel.CoWFaults == 0 || res.Engine.PageCopies == 0 {
+		t.Fatal("CoW machinery inactive in non-secure mode")
+	}
+}
+
+// TestMeasureProcAttribution checks that per-process measurement isolates
+// the chosen process's time.
+func TestMeasureProcAttribution(t *testing.T) {
+	b := workload.NewBuilder("attr")
+	b.Spawn(0)
+	b.Fork(0, 1)
+	b.MeasureProcess(1)
+	b.BeginMeasure()
+	b.Compute(0, 1_000_000) // other process's time: excluded
+	b.Compute(1, 2_500)
+	b.EndMeasure()
+	b.Exit(1)
+	b.Exit(0)
+	res, err := RunWith(smallConfig(core.Baseline), b.Script())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExecNs != 2_500 {
+		t.Fatalf("ExecNs = %d, want 2500 (process-1 time only)", res.ExecNs)
+	}
+}
+
+// TestFootprintsThroughSim checks Fig. 10c/d tracking end to end.
+func TestFootprintsThroughSim(t *testing.T) {
+	for _, s := range []core.Scheme{core.Baseline, core.Lelantus} {
+		cfg := smallConfig(s)
+		cfg.Kernel.TrackFootprints = true
+		m, err := NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Run(workload.Forkbench(workload.ForkbenchParams{
+			RegionBytes: 256 << 10, BytesPerUnit: 4, ChildExits: true,
+		})); err != nil {
+			t.Fatal(err)
+		}
+		fps := m.Ctl.Engine.Footprints()
+		if len(fps) == 0 {
+			t.Fatalf("%v: no footprints recorded", s)
+		}
+		total := 0
+		for _, mask := range fps {
+			for x := mask; x != 0; x &= x - 1 {
+				total++
+			}
+		}
+		avg := float64(total) / float64(len(fps))
+		if s == core.Baseline && avg < 60 {
+			t.Fatalf("baseline average footprint %.1f, want near 64", avg)
+		}
+		if s == core.Lelantus && avg > 10 {
+			t.Fatalf("lelantus average footprint %.1f, want near 4", avg)
+		}
+	}
+}
+
+var _ = mem.PageBytes

@@ -1,0 +1,154 @@
+// Package stats provides the counters, ratios, and text-table helpers the
+// simulator and the experiment harness use to report results.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Ratio formats a/b as a fixed-point decimal, returning "-" when b is zero.
+func Ratio(a, b float64, decimals int) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.*f", decimals, a/b)
+}
+
+// Pct formats a/b as a percentage string.
+func Pct(a, b float64) string {
+	if b == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.2f%%", 100*a/b)
+}
+
+// Table accumulates rows and renders them with aligned columns, in the
+// spirit of the tables in the paper's evaluation section.
+type Table struct {
+	Title  string
+	header []string
+	rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, header: header}
+}
+
+// Add appends a row; values are formatted with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured markdown table.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "**%s**\n\n", t.Title)
+	}
+	b.WriteString("| " + strings.Join(t.header, " | ") + " |\n")
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(sep, " | ") + " |\n")
+	for _, r := range t.rows {
+		b.WriteString("| " + strings.Join(r, " | ") + " |\n")
+	}
+	return b.String()
+}
+
+// Histogram is a simple integer-valued histogram keyed by bucket label.
+type Histogram struct {
+	counts map[string]uint64
+}
+
+// NewHistogram creates an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{counts: make(map[string]uint64)}
+}
+
+// Add increments bucket by n.
+func (h *Histogram) Add(bucket string, n uint64) {
+	h.counts[bucket] += n
+}
+
+// Get returns the count in a bucket.
+func (h *Histogram) Get(bucket string) uint64 { return h.counts[bucket] }
+
+// Total sums all buckets.
+func (h *Histogram) Total() uint64 {
+	var t uint64
+	for _, v := range h.counts {
+		t += v
+	}
+	return t
+}
+
+// Buckets returns the bucket labels in sorted order.
+func (h *Histogram) Buckets() []string {
+	keys := make([]string, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// String renders "bucket: count" lines in sorted bucket order.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for _, k := range h.Buckets() {
+		fmt.Fprintf(&b, "%s: %d\n", k, h.counts[k])
+	}
+	return b.String()
+}

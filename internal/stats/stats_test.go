@@ -1,0 +1,70 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRatioAndPct(t *testing.T) {
+	if Ratio(1, 3, 2) != "0.33" {
+		t.Fatalf("Ratio = %s", Ratio(1, 3, 2))
+	}
+	if Ratio(1, 0, 2) != "-" {
+		t.Fatal("Ratio by zero")
+	}
+	if Pct(1, 4) != "25.00%" {
+		t.Fatalf("Pct = %s", Pct(1, 4))
+	}
+	if Pct(1, 0) != "-" {
+		t.Fatal("Pct by zero")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.Add("alpha", 3.14159)
+	tb.Add("b", 42)
+	out := tb.String()
+	if !strings.Contains(out, "== Demo ==") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "3.14") {
+		t.Fatal("float not formatted")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Columns aligned: header and row share the column-2 start offset.
+	h := lines[1]
+	r := lines[3]
+	if strings.Index(h, "value") != strings.Index(r, "3.14") {
+		t.Fatalf("misaligned columns:\n%s", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram()
+	h.Add("b", 2)
+	h.Add("a", 1)
+	h.Add("b", 3)
+	if h.Get("b") != 5 || h.Total() != 6 {
+		t.Fatalf("get=%d total=%d", h.Get("b"), h.Total())
+	}
+	if got := h.Buckets(); len(got) != 2 || got[0] != "a" {
+		t.Fatalf("buckets = %v", got)
+	}
+	if !strings.HasPrefix(h.String(), "a: 1\n") {
+		t.Fatalf("string = %q", h.String())
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("MD", "a", "b")
+	tb.Add("x", 1)
+	out := tb.Markdown()
+	if !strings.Contains(out, "**MD**") || !strings.Contains(out, "| a | b |") ||
+		!strings.Contains(out, "| --- | --- |") || !strings.Contains(out, "| x | 1 |") {
+		t.Fatalf("markdown rendering wrong:\n%s", out)
+	}
+}

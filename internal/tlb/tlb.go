@@ -1,0 +1,156 @@
+// Package tlb models the translation lookaside buffers and the page-table
+// walk cost. The paper's introduction motivates huge pages on NVM with
+// exactly this trade-off: terabyte-scale memories make 4 KB translation
+// bookkeeping expensive, while 2 MB pages cover 512× the reach per TLB
+// entry. The kernel charges translation through this model, so huge-page
+// runs show the reach benefit alongside the CoW behaviour.
+package tlb
+
+// Config sizes the two-level TLB and the walk cost.
+type Config struct {
+	L1Entries int
+	L2Entries int
+	L1Ns      uint64 // charged on every translation
+	L2Ns      uint64 // added on an L1 miss
+	WalkNs    uint64 // added on a full miss (page-table walk)
+}
+
+// DefaultConfig matches a contemporary core: 64-entry L1, 1536-entry L2,
+// with a multi-level page walk costing tens of nanoseconds.
+func DefaultConfig() Config {
+	return Config{
+		L1Entries: 64,
+		L2Entries: 1536,
+		L1Ns:      0, // fully overlapped with the L1 cache access
+		L2Ns:      4,
+		WalkNs:    40,
+	}
+}
+
+type entry struct {
+	key   uint64 // (vpn << 1) | hugeBit
+	valid bool
+	tick  uint64
+}
+
+type level struct {
+	ways []entry
+	tick uint64
+}
+
+func newLevel(entries int) *level {
+	if entries < 1 {
+		entries = 1
+	}
+	return &level{ways: make([]entry, entries)}
+}
+
+// lookup is fully associative with LRU replacement: TLB reach, not
+// associativity conflicts, is what matters at this fidelity.
+func (l *level) lookup(key uint64) bool {
+	l.tick++
+	for i := range l.ways {
+		if l.ways[i].valid && l.ways[i].key == key {
+			l.ways[i].tick = l.tick
+			return true
+		}
+	}
+	return false
+}
+
+func (l *level) insert(key uint64) {
+	l.tick++
+	pick := 0
+	for i := range l.ways {
+		if !l.ways[i].valid {
+			pick = i
+			break
+		}
+		if l.ways[i].tick < l.ways[pick].tick {
+			pick = i
+		}
+	}
+	l.ways[pick] = entry{key: key, valid: true, tick: l.tick}
+}
+
+func (l *level) invalidate(key uint64) {
+	for i := range l.ways {
+		if l.ways[i].valid && l.ways[i].key == key {
+			l.ways[i] = entry{}
+		}
+	}
+}
+
+func (l *level) flushAll() {
+	for i := range l.ways {
+		l.ways[i] = entry{}
+	}
+}
+
+// TLB is one process-visible translation cache. A single structure caches
+// both 4 KB and 2 MB translations (keys are tagged with the page size).
+type TLB struct {
+	cfg Config
+	l1  *level
+	l2  *level
+
+	L1Hits, L2Hits, Walks uint64
+}
+
+// New builds a TLB.
+func New(cfg Config) *TLB {
+	return &TLB{cfg: cfg, l1: newLevel(cfg.L1Entries), l2: newLevel(cfg.L2Entries)}
+}
+
+func key(vpnOrHuge uint64, huge bool) uint64 {
+	k := vpnOrHuge << 1
+	if huge {
+		k |= 1
+	}
+	return k
+}
+
+// Translate charges the translation of the virtual page (vpn is the 4 KB
+// VPN, or the 2 MB VPN when huge) and returns the latency.
+func (t *TLB) Translate(vpn uint64, huge bool) (latencyNs uint64) {
+	k := key(vpn, huge)
+	latencyNs = t.cfg.L1Ns
+	if t.l1.lookup(k) {
+		t.L1Hits++
+		return latencyNs
+	}
+	latencyNs += t.cfg.L2Ns
+	if t.l2.lookup(k) {
+		t.L2Hits++
+		t.l1.insert(k)
+		return latencyNs
+	}
+	t.Walks++
+	latencyNs += t.cfg.WalkNs
+	t.l2.insert(k)
+	t.l1.insert(k)
+	return latencyNs
+}
+
+// Invalidate drops one translation (mapping change / CoW fix-up), the
+// TLB-shootdown effect of a permission change.
+func (t *TLB) Invalidate(vpn uint64, huge bool) {
+	k := key(vpn, huge)
+	t.l1.invalidate(k)
+	t.l2.invalidate(k)
+}
+
+// FlushAll models a context switch without PCID (process destruction).
+func (t *TLB) FlushAll() {
+	t.l1.flushAll()
+	t.l2.flushAll()
+}
+
+// MissRate returns the fraction of translations that needed a walk.
+func (t *TLB) MissRate() float64 {
+	total := t.L1Hits + t.L2Hits + t.Walks
+	if total == 0 {
+		return 0
+	}
+	return float64(t.Walks) / float64(total)
+}

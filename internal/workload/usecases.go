@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"math/rand"
+
+	"lelantus/internal/mem"
+)
+
+// Snapshot models the checkpointing use case of Section II-C: a long-lived
+// process keeps a working set hot while periodically forking a snapshot
+// child that walks the dataset (verifying/persisting it) and exits. Each
+// epoch's mutations hit CoW-shared pages; page-granularity CoW pays a full
+// copy per touched page per epoch.
+func Snapshot(huge bool, seed int64) Script {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder("snapshot[" + pageMode(huge) + "]")
+	const app = 0
+	dataBytes := uint64(8 << 20)
+	b.Spawn(app)
+	b.Mmap(app, 0, dataBytes, huge)
+	writeAllLines(b, app, 0, dataBytes, 0xC4)
+	// The interesting metric is the application's own latency while
+	// snapshots come and go (the paper measures Redis the same way); the
+	// deferred line copies at snapshot exit run off its critical path.
+	b.MeasureProcess(app)
+	b.BeginMeasure()
+
+	lines := dataBytes / mem.LineBytes
+	const epochs = 4
+	for e := 0; e < epochs; e++ {
+		snap := 1 + e
+		b.Fork(app, snap)
+		// The snapshot child scans a third of the dataset (incremental
+		// checkpoint) while the app mutates scattered lines.
+		scan := (dataBytes / 3) &^ (mem.LineBytes - 1)
+		scanOff := uint64(e) * scan % dataBytes
+		for off := uint64(0); off < scan; off += mem.LineBytes {
+			b.Load(snap, 0, (scanOff+off)%dataBytes, 16)
+			if off%(64*mem.LineBytes) == 0 {
+				// App activity interleaved with the scan.
+				b.Store(app, 0, (rng.Uint64()%lines)*mem.LineBytes, 24, byte(e))
+			}
+		}
+		b.Compute(snap, 500_000) // compress/flush the checkpoint
+		b.Exit(snap)
+		// Between snapshots the app runs undisturbed.
+		for i := 0; i < 2000; i++ {
+			off := (rng.Uint64() % lines) * mem.LineBytes
+			if i%3 == 0 {
+				b.Store(app, 0, off, 24, byte(i))
+			} else {
+				b.Load(app, 0, off, 24)
+			}
+		}
+		b.Compute(app, 1_000_000)
+	}
+	b.EndMeasure()
+	b.Exit(app)
+	return b.Script()
+}
+
+// VMClone models the VM-cloning / deduplication use case of Section II-C:
+// clones fork from a golden image, diverge on a small working set, and
+// KSM re-merges pages that drift back to common content. Huge mappings are
+// not KSM candidates, so the merge phase only runs for 4 KB pages.
+func VMClone(huge bool, seed int64) Script {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder("vmclone[" + pageMode(huge) + "]")
+	const golden = 0
+	imageBytes := uint64(2 << 20)
+	b.Spawn(golden)
+	b.Mmap(golden, 0, imageBytes, huge)
+	writeAllLines(b, golden, 0, imageBytes, 0xBD)
+	b.BeginMeasure()
+
+	const clones = 6
+	unit := unitBytes(huge)
+	for c := 1; c <= clones; c++ {
+		b.Fork(golden, c)
+		// Boot divergence: a few lines in a quarter of the image's units.
+		for base := uint64(0); base < imageBytes; base += 4 * unit {
+			for l := 0; l < 4; l++ {
+				off := base + (rng.Uint64()%(unit/mem.LineBytes))*mem.LineBytes
+				b.Store(c, 0, off, 16, byte(c))
+			}
+		}
+		b.Compute(c, 800_000) // guest boot work
+	}
+	if !huge {
+		// Two clones write page 0 back to identical content; KSM merges.
+		for _, c := range []int{1, 2} {
+			for off := uint64(0); off < mem.PageBytes; off += mem.LineBytes {
+				b.Store(c, 0, off, mem.LineBytes, 0x99)
+			}
+		}
+		b.KSM(0, 0, 1, 2)
+	}
+	// Steady state: every clone serves requests on its own view.
+	lines := imageBytes / mem.LineBytes
+	for i := 0; i < 3000; i++ {
+		c := 1 + rng.Intn(clones)
+		off := (rng.Uint64() % lines) * mem.LineBytes
+		if i%4 == 0 {
+			b.Store(c, 0, off, 16, byte(i))
+		} else {
+			b.Load(c, 0, off, 16)
+		}
+	}
+	b.EndMeasure()
+	for c := 1; c <= clones; c++ {
+		b.Exit(c)
+	}
+	b.Exit(golden)
+	return b.Script()
+}
+
+// UseCases lists the extension scenarios (not part of the paper's Table IV
+// catalogue, but the use cases its Section II-C motivates).
+func UseCases() []Spec {
+	return []Spec{
+		{"snapshot", "periodic fork checkpoints of a hot dataset (Section II-C)", Snapshot},
+		{"vmclone", "VM clones from a golden image with KSM dedup (Section II-C)", VMClone},
+	}
+}
+
+// Journal models a write-ahead-log commit pattern: after a snapshot fork
+// makes the journal pages CoW, a handful of header lines are re-written
+// with non-temporal stores hundreds of times. Every store reaches the
+// controller (NT bypasses the cache), so the minor counters of those
+// lines climb fast — the overflow stress behind Table I and Fig. 10a:
+// 6-bit CoW minors (Lelantus) overflow at 63 writes, classic 7-bit ones
+// (Lelantus-CoW) at 127.
+func Journal(huge bool, _ int64) Script {
+	b := NewBuilder("journal[" + pageMode(huge) + "]")
+	const app, snap = 0, 1
+	journalBytes := uint64(64 << 10)
+	b.Spawn(app)
+	b.Mmap(app, 0, journalBytes, huge)
+	writeAllLines(b, app, 0, journalBytes, 0x3A)
+	b.Fork(app, snap) // snapshot: journal pages become CoW
+	b.BeginMeasure()
+	const commits = 300
+	pages := journalBytes / mem.PageBytes
+	for c := 0; c < commits; c++ {
+		for page := uint64(0); page < pages; page++ {
+			// Commit record: header line plus a rotating payload line.
+			b.StoreNT(app, 0, page*mem.PageBytes, byte(c))
+			payload := 1 + uint64(c)%7
+			b.StoreNT(app, 0, page*mem.PageBytes+payload*mem.LineBytes, byte(c))
+		}
+	}
+	b.EndMeasure()
+	b.Exit(snap)
+	b.Exit(app)
+	return b.Script()
+}

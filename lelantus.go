@@ -1,0 +1,105 @@
+// Package lelantus is a library-grade reproduction of "Lelantus:
+// Fine-Granularity Copy-On-Write Operations for Secure Non-Volatile
+// Memories" (Zhou, Awad, Wang — ISCA 2020).
+//
+// It simulates a secure-NVM machine — counter-mode encryption with
+// split counters, Bonsai Merkle Tree integrity, a counter cache, a
+// three-level cache hierarchy, a banked NVM device, and a Linux-like
+// kernel with fork/CoW/huge pages — and implements four CoW designs on
+// top of it:
+//
+//	Baseline        conventional page-granularity CoW
+//	SilentShredder  zero-initialisation elision via zero counters
+//	Lelantus        fine-grained CoW via resized counter blocks
+//	LelantusCoW     fine-grained CoW via supplementary metadata
+//
+// Quick start:
+//
+//	res, err := lelantus.Run(lelantus.Lelantus, lelantus.Forkbench(lelantus.DefaultForkbench(false)))
+//	base, err := lelantus.Run(lelantus.Baseline, lelantus.Forkbench(lelantus.DefaultForkbench(false)))
+//	fmt.Printf("speedup %.2fx, writes cut to %.1f%%\n",
+//	        res.SpeedupVs(base), 100*res.WriteReductionVs(base))
+//
+// The experiment harness under internal/experiments (driven by
+// cmd/lelantus-bench and the root bench_test.go) regenerates every table
+// and figure of the paper's evaluation section.
+//
+// Concurrency: a Machine is a single simulated system with one global
+// clock and is not safe for concurrent use. Run independent simulations
+// on independent Machines (they share nothing), one goroutine each —
+// that is how the benchmark harness parallelises sweeps.
+package lelantus
+
+import (
+	"lelantus/internal/core"
+	"lelantus/internal/sim"
+	"lelantus/internal/workload"
+)
+
+// Scheme selects the CoW design a machine runs.
+type Scheme = core.Scheme
+
+// The four designs compared in the paper's evaluation.
+const (
+	Baseline       = core.Baseline
+	SilentShredder = core.SilentShredder
+	Lelantus       = core.Lelantus
+	LelantusCoW    = core.LelantusCoW
+)
+
+// ParseScheme maps a scheme name ("baseline", "silent-shredder",
+// "lelantus", "lelantus-cow") to its Scheme value.
+func ParseScheme(name string) (Scheme, error) { return core.ParseScheme(name) }
+
+// Schemes lists every scheme in comparison order.
+func Schemes() []Scheme { return core.Schemes() }
+
+// Config assembles a simulated machine (memory subsystem + kernel).
+type Config = sim.Config
+
+// DefaultConfig returns the paper's Table III machine for a scheme.
+func DefaultConfig(s Scheme) Config { return sim.DefaultConfig(s) }
+
+// Machine is a runnable simulated system.
+type Machine = sim.Machine
+
+// NewMachine builds a machine from a configuration.
+func NewMachine(cfg Config) (*Machine, error) { return sim.NewMachine(cfg) }
+
+// Result is the measurement of one run's measured phase.
+type Result = sim.Result
+
+// Script is a workload: a deterministic sequence of process and memory
+// operations over process/region slots.
+type Script = workload.Script
+
+// ScriptBuilder assembles custom workloads.
+type ScriptBuilder = workload.Builder
+
+// NewScript starts building a custom workload script.
+func NewScript(name string) *ScriptBuilder { return workload.NewBuilder(name) }
+
+// WorkloadSpec describes a catalogued workload (paper Table IV).
+type WorkloadSpec = workload.Spec
+
+// Workloads returns the benchmark catalogue: boot, compile, forkbench,
+// redis, mariadb, shell, and the non-copy control.
+func Workloads() []WorkloadSpec { return workload.Catalogue() }
+
+// WorkloadByName looks up a catalogued workload.
+func WorkloadByName(name string) (WorkloadSpec, error) { return workload.ByName(name) }
+
+// ForkbenchParams parameterises the forkbench micro-benchmark.
+type ForkbenchParams = workload.ForkbenchParams
+
+// DefaultForkbench returns the paper's forkbench settings for a page size.
+func DefaultForkbench(huge bool) ForkbenchParams { return workload.DefaultForkbench(huge) }
+
+// Forkbench builds the forkbench script.
+func Forkbench(p ForkbenchParams) Script { return workload.Forkbench(p) }
+
+// Run executes the script on a fresh default machine for the scheme.
+func Run(s Scheme, script Script) (Result, error) { return sim.RunOne(s, script) }
+
+// RunWith executes the script on a fresh machine built from cfg.
+func RunWith(cfg Config, script Script) (Result, error) { return sim.RunWith(cfg, script) }

@@ -1,0 +1,147 @@
+package lelantus
+
+import (
+	"strings"
+	"testing"
+)
+
+func smallCfg(s Scheme) Config {
+	cfg := DefaultConfig(s)
+	cfg.Mem.MemBytes = 128 << 20
+	return cfg
+}
+
+func TestParseSchemeFacade(t *testing.T) {
+	for _, s := range Schemes() {
+		got, err := ParseScheme(s.String())
+		if err != nil || got != s {
+			t.Fatalf("ParseScheme(%v) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseScheme("x"); err == nil {
+		t.Fatal("bad scheme accepted")
+	}
+}
+
+func TestWorkloadCatalogueFacade(t *testing.T) {
+	specs := Workloads()
+	if len(specs) != 7 {
+		t.Fatalf("catalogue size = %d", len(specs))
+	}
+	if _, err := WorkloadByName("forkbench"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := WorkloadByName("missing"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestCustomScriptThroughFacade(t *testing.T) {
+	b := NewScript("custom")
+	b.Spawn(0)
+	b.Mmap(0, 0, 64<<10, false)
+	for off := uint64(0); off < 64<<10; off += 64 {
+		b.Store(0, 0, off, 64, 0x42)
+	}
+	b.Fork(0, 1)
+	b.BeginMeasure()
+	b.Store(1, 0, 0, 8, 0x43)
+	b.Compute(1, 1000)
+	b.EndMeasure()
+	b.Exit(1)
+	b.Exit(0)
+	script := b.Script()
+
+	res, err := RunWith(smallCfg(Lelantus), script)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kernel.CoWFaults != 1 {
+		t.Fatalf("CoWFaults = %d, want 1", res.Kernel.CoWFaults)
+	}
+	if res.Engine.PageCopies != 1 {
+		t.Fatalf("PageCopies = %d, want 1", res.Engine.PageCopies)
+	}
+	if res.ExecNs < 1000 {
+		t.Fatalf("compute time not accounted: %d", res.ExecNs)
+	}
+}
+
+func TestRunWithConfigKnobs(t *testing.T) {
+	cfg := smallCfg(LelantusCoW)
+	cfg.Mem.CoWReserveBytes = 4 << 10
+	cfg.Kernel.TrackFootprints = true
+	res, err := RunWith(cfg, Forkbench(ForkbenchParams{
+		RegionBytes: 1 << 20, BytesPerUnit: 4, ChildExits: true,
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheme != LelantusCoW {
+		t.Fatalf("scheme = %v", res.Scheme)
+	}
+	if res.Engine.PageCopies == 0 {
+		t.Fatal("no page copies recorded")
+	}
+}
+
+func TestMachineReuseAcrossScripts(t *testing.T) {
+	m, err := NewMachine(smallCfg(Lelantus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1 := NewScript("one")
+	s1.Spawn(0)
+	s1.Mmap(0, 0, 4096, false)
+	s1.Store(0, 0, 0, 8, 1)
+	s1.Exit(0)
+	if _, err := m.Run(s1.Script()); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewScript("two")
+	s2.Spawn(0)
+	s2.Mmap(0, 0, 4096, false)
+	s2.Store(0, 0, 0, 8, 2)
+	s2.Exit(0)
+	if _, err := m.Run(s2.Script()); err != nil {
+		t.Fatalf("second script on the same machine: %v", err)
+	}
+}
+
+func TestSchemeNamesStable(t *testing.T) {
+	// The CLI and docs depend on these exact names.
+	want := []string{"baseline", "silent-shredder", "lelantus", "lelantus-cow"}
+	for i, s := range Schemes() {
+		if s.String() != want[i] {
+			t.Fatalf("scheme %d = %q, want %q", i, s, want[i])
+		}
+	}
+}
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	cfg := DefaultConfig(Lelantus)
+	if cfg.Mem.NVM.ReadNs != 60 || cfg.Mem.NVM.WriteNs != 150 {
+		t.Fatal("PM latency deviates from Table III")
+	}
+	if cfg.Mem.CtrCacheBytes != 256<<10 || cfg.Mem.CtrCacheWays != 16 {
+		t.Fatal("counter cache deviates from Table III")
+	}
+	if cfg.Mem.Cache.L3Bytes != 8<<20 {
+		t.Fatal("L3 deviates from Table III")
+	}
+	if cfg.Mem.Core.AESLatencyNs != 24 {
+		t.Fatal("AES latency deviates from the paper")
+	}
+}
+
+func TestWorkloadNamesInDescriptions(t *testing.T) {
+	// Table IV names must be stable for EXPERIMENTS.md cross-references.
+	names := []string{"boot", "compile", "forkbench", "redis", "mariadb", "shell", "non-copy"}
+	var got []string
+	for _, s := range Workloads() {
+		got = append(got, s.Name)
+	}
+	if strings.Join(got, ",") != strings.Join(names, ",") {
+		t.Fatalf("catalogue order changed: %v", got)
+	}
+}

@@ -1,0 +1,28 @@
+package lelantus
+
+import "testing"
+
+// TestSmokeForkbench runs the forkbench under every scheme and checks the
+// headline claims hold directionally: Lelantus is faster than Baseline and
+// writes far less.
+func TestSmokeForkbench(t *testing.T) {
+	script := Forkbench(DefaultForkbench(false))
+	results := make(map[Scheme]Result)
+	for _, s := range Schemes() {
+		res, err := Run(s, script)
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		results[s] = res
+		t.Logf("%-16v exec=%dns nvmWrites=%d nvmReads=%d cowFaults=%d copies=%d",
+			s, res.ExecNs, res.NVMWrites, res.NVMReads, res.Kernel.CoWFaults, res.Kernel.PagesCopied)
+	}
+	base := results[Baseline]
+	lel := results[Lelantus]
+	if lel.ExecNs >= base.ExecNs {
+		t.Errorf("Lelantus (%d ns) should beat Baseline (%d ns)", lel.ExecNs, base.ExecNs)
+	}
+	if lel.NVMWrites >= base.NVMWrites {
+		t.Errorf("Lelantus writes (%d) should be below Baseline (%d)", lel.NVMWrites, base.NVMWrites)
+	}
+}
