@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: all build vet test race bench verify
+
+all: verify
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The grid runner and the experiment harness are the only concurrent
+# code in the repository; -short keeps the race pass CI-sized while
+# still exercising every RunGrid path (the determinism tests run
+# multi-worker grids even in short mode).
+race:
+	$(GO) test -race -short ./internal/sim/... ./internal/experiments/...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+verify: build vet test race

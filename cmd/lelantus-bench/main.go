@@ -5,10 +5,13 @@
 //	lelantus-bench                 # run every experiment (full size)
 //	lelantus-bench -exp fig9-4KB   # run one experiment
 //	lelantus-bench -quick          # reduced sizes (seconds, not minutes)
+//	lelantus-bench -parallel 8     # fan independent runs over 8 workers
+//	lelantus-bench -json           # machine-readable report output
 //	lelantus-bench -list           # list experiment identifiers
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,8 +26,10 @@ func main() {
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
 	seed := flag.Int64("seed", 1, "workload generator seed")
 	memMB := flag.Uint64("mem", 512, "simulated NVM capacity in MiB")
+	parallel := flag.Int("parallel", 0, "worker pool for independent simulation runs (0 = all CPUs); reports are byte-identical at any setting")
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
 	markdown := flag.Bool("markdown", false, "emit markdown tables (EXPERIMENTS.md form)")
+	asJSON := flag.Bool("json", false, "emit reports as a JSON array")
 	flag.Parse()
 
 	if *list {
@@ -36,6 +41,7 @@ func main() {
 	o.Quick = *quick
 	o.Seed = *seed
 	o.MemBytes = *memMB << 20
+	o.Parallel = *parallel
 
 	start := time.Now()
 	var reports []*experiments.Report
@@ -47,19 +53,35 @@ func main() {
 		r, err = experiments.ByID(o, *exp)
 		reports = []*experiments.Report{r}
 	}
-	for _, r := range reports {
-		if r == nil {
-			continue
+	if *asJSON {
+		ok := make([]*experiments.Report, 0, len(reports))
+		for _, r := range reports {
+			if r != nil {
+				ok = append(ok, r)
+			}
 		}
-		if *markdown {
-			fmt.Println(r.Markdown())
-		} else {
-			fmt.Println(r)
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if jerr := enc.Encode(ok); jerr != nil && err == nil {
+			err = jerr
+		}
+	} else {
+		for _, r := range reports {
+			if r == nil {
+				continue
+			}
+			if *markdown {
+				fmt.Println(r.Markdown())
+			} else {
+				fmt.Println(r)
+			}
 		}
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lelantus-bench: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("completed in %.1fs (host time)\n", time.Since(start).Seconds())
+	if !*asJSON {
+		fmt.Printf("completed in %.1fs (host time)\n", time.Since(start).Seconds())
+	}
 }

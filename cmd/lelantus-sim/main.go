@@ -5,6 +5,7 @@
 //
 //	lelantus-sim -workload forkbench -scheme lelantus
 //	lelantus-sim -workload redis -scheme baseline -huge
+//	lelantus-sim -workload redis -all -parallel 4
 //	lelantus-sim -list
 package main
 
@@ -31,6 +32,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload generator seed")
 	memMB := flag.Uint64("mem", 512, "simulated NVM capacity in MiB")
 	compare := flag.Bool("compare", false, "also run the baseline and report speedup")
+	all := flag.Bool("all", false, "run the workload under every scheme and compare")
+	parallel := flag.Int("parallel", 0, "worker pool for -all (0 = all CPUs); output is identical at any setting")
 	list := flag.Bool("list", false, "list workloads and exit")
 	record := flag.String("record", "", "write the workload script to this file and exit")
 	replay := flag.String("replay", "", "run a script recorded with -record instead of -workload")
@@ -84,6 +87,11 @@ func main() {
 	if *disasm {
 		trace.Disassemble(os.Stdout, script, 40)
 	}
+	if *all {
+		runAll(script, *memMB, *parallel, *asJSON)
+		return
+	}
+
 	cfg := lelantus.DefaultConfig(scheme)
 	cfg.Mem.MemBytes = *memMB << 20
 
@@ -129,6 +137,40 @@ func main() {
 			fail(err)
 		}
 		fmt.Printf("vs-baseline speedup %.2fx, writes cut to %.2f%%\n",
+			res.SpeedupVs(base), 100*res.WriteReductionVs(base))
+	}
+}
+
+// runAll fans the script out over every scheme on a worker pool; the
+// Baseline row (always index 0) anchors the speedup and write columns.
+func runAll(script workload.Script, memMB uint64, parallel int, asJSON bool) {
+	schemes := lelantus.Schemes()
+	jobs := make([]lelantus.GridJob, len(schemes))
+	for i, s := range schemes {
+		cfg := lelantus.DefaultConfig(s)
+		cfg.Mem.MemBytes = memMB << 20
+		jobs[i] = lelantus.GridJob{Tag: s.String(), Config: cfg, Script: script}
+	}
+	results, err := lelantus.RunGrid(jobs, parallel)
+	if err != nil {
+		fail(err)
+	}
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(results); err != nil {
+			fail(err)
+		}
+		return
+	}
+	base := results[0]
+	fmt.Printf("workload   %s\n", script.Name)
+	fmt.Printf("%-16s %12s %12s %12s %9s %9s\n",
+		"scheme", "exec-ms", "nvm-reads", "nvm-writes", "speedup", "writes%")
+	for i, s := range schemes {
+		res := results[i]
+		fmt.Printf("%-16v %12.3f %12d %12d %8.2fx %8.2f%%\n",
+			s, float64(res.ExecNs)/1e6, res.NVMReads, res.NVMWrites,
 			res.SpeedupVs(base), 100*res.WriteReductionVs(base))
 	}
 }

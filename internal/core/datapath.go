@@ -148,10 +148,15 @@ func (e *Engine) WriteLine(now, lineAddr uint64, plain *[mem.LineBytes]byte) (ui
 		}
 	}
 
+	// MinorIncrements counts real minor-counter advances only: the
+	// NonSecure rewrite path leaves the counter alone, and on overflow
+	// Increment performed no increment (the page re-encrypts under a new
+	// major instead).
 	ctrChanged := true
 	switch {
 	case wasZero:
 		blk.Minor[li] = 1
+		e.Stats.MinorIncrements++
 	case e.cfg.NonSecure:
 		// Non-secure mode: the minor only tracks copied/zero state, so a
 		// rewrite of a materialised line leaves the counter alone — no
@@ -164,8 +169,10 @@ func (e *Engine) WriteLine(now, lineAddr uint64, plain *[mem.LineBytes]byte) (ui
 			return t, errRe
 		}
 		blk.Minor[li] = 1
+	default:
+		// Increment advanced the minor in place.
+		e.Stats.MinorIncrements++
 	}
-	e.Stats.MinorIncrements++
 
 	lineNo := mem.LineNo(lineAddr)
 	e.written[lineNo] = true

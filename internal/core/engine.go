@@ -411,16 +411,36 @@ func (e *Engine) note(pfn uint64, line int) {
 	}
 }
 
+// peekBlock returns the page's current counter block with zero side
+// effects: no cache fill or LRU promotion, no Stats charges, no device
+// traffic, no clock movement. Dirty cached blocks take precedence over the
+// (stale) NVM image. Pages whose boot-time block was never materialised
+// report ok=false — such a page cannot carry CoW state, and decoding it
+// here would have to draw from the counter-init RNG, perturbing the run.
+func (e *Engine) peekBlock(pfn uint64) (blk ctr.Block, ok bool) {
+	if cached := e.CtrCache.Peek(pfn); cached != nil {
+		return *cached, true
+	}
+	if !e.initialised[pfn] {
+		return ctr.Block{}, false
+	}
+	var raw [ctr.BlockBytes]byte
+	e.Phys.ReadLine(e.ctrAddr(pfn), &raw)
+	blk, err := ctr.Unpack(raw, e.cfg.Scheme.Format())
+	if err != nil {
+		return ctr.Block{}, false
+	}
+	return blk, true
+}
+
 // IsCoW reports whether the page currently has live fine-grained CoW state
-// (uncopied lines that reference a source page).
+// (uncopied lines that reference a source page). Pure introspection: the
+// caches, statistics and device clock are left untouched.
 func (e *Engine) IsCoW(pfn uint64) bool {
 	switch e.cfg.Scheme {
 	case Lelantus:
-		if blk := e.CtrCache.Get(pfn); blk != nil {
-			return blk.CoW
-		}
-		blk, _, err := e.loadBlock(0, pfn)
-		return err == nil && blk.CoW
+		blk, ok := e.peekBlock(pfn)
+		return ok && blk.CoW
 	case LelantusCoW:
 		_, ok := e.cowTable[pfn]
 		return ok
@@ -429,12 +449,12 @@ func (e *Engine) IsCoW(pfn uint64) bool {
 	}
 }
 
-// SourceOf returns the recorded source page of a CoW destination.
+// SourceOf returns the recorded source page of a CoW destination, without
+// side effects on caches, statistics or the device clock.
 func (e *Engine) SourceOf(pfn uint64) (uint64, bool) {
 	switch e.cfg.Scheme {
 	case Lelantus:
-		blk, _, err := e.loadBlock(0, pfn)
-		if err == nil && blk.CoW {
+		if blk, ok := e.peekBlock(pfn); ok && blk.CoW {
 			return blk.Src, true
 		}
 	case LelantusCoW:
@@ -445,13 +465,14 @@ func (e *Engine) SourceOf(pfn uint64) (uint64, bool) {
 }
 
 // UncopiedCount returns the number of lines of pfn still redirected to a
-// source page (0 for non-CoW pages).
+// source page (0 for non-CoW pages), without side effects on caches,
+// statistics or the device clock.
 func (e *Engine) UncopiedCount(pfn uint64) int {
 	if !e.IsCoW(pfn) {
 		return 0
 	}
-	blk, _, err := e.loadBlock(0, pfn)
-	if err != nil {
+	blk, ok := e.peekBlock(pfn)
+	if !ok {
 		return 0
 	}
 	return blk.UncopiedCount()

@@ -15,6 +15,7 @@
 package ctr
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 )
@@ -105,6 +106,14 @@ func (b *Block) Validate() error {
 }
 
 // Pack serialises the block into its 64-byte memory image.
+//
+// The encoder is word-wise: the 64-bit head and source words go through
+// encoding/binary, and the minor lanes are packed eight at a time — eight
+// 7-bit minors form one 56-bit word in exactly seven bytes (eight 6-bit
+// minors one 48-bit word in six bytes), so lane groups land on byte
+// boundaries and never straddle each other. The bit layout is identical to
+// the original per-bit codec (see packBitwise in bitwise.go, kept as the
+// differential-fuzz reference).
 func (b *Block) Pack() ([BlockBytes]byte, error) {
 	var raw [BlockBytes]byte
 	if err := b.Validate(); err != nil {
@@ -112,24 +121,19 @@ func (b *Block) Pack() ([BlockBytes]byte, error) {
 	}
 	switch b.Format {
 	case Classic:
-		setBits(&raw, 0, 64, b.Major)
-		for i := 0; i < LinesPerPage; i++ {
-			setBits(&raw, 64+uint(i)*7, 7, uint64(b.Minor[i]))
-		}
+		binary.LittleEndian.PutUint64(raw[0:8], b.Major)
+		packLanes7(raw[8:64], &b.Minor)
 	case Resized:
+		head := b.Major << 1
 		if b.CoW {
-			setBits(&raw, 0, 1, 1)
+			head |= 1
 		}
-		setBits(&raw, 1, 63, b.Major)
+		binary.LittleEndian.PutUint64(raw[0:8], head)
 		if b.CoW {
-			for i := 0; i < LinesPerPage; i++ {
-				setBits(&raw, 64+uint(i)*6, 6, uint64(b.Minor[i]))
-			}
-			setBits(&raw, 448, 64, b.Src)
+			packLanes6(raw[8:56], &b.Minor)
+			binary.LittleEndian.PutUint64(raw[56:64], b.Src)
 		} else {
-			for i := 0; i < LinesPerPage; i++ {
-				setBits(&raw, 64+uint(i)*7, 7, uint64(b.Minor[i]))
-			}
+			packLanes7(raw[8:64], &b.Minor)
 		}
 	}
 	return raw, nil
@@ -140,27 +144,96 @@ func Unpack(raw [BlockBytes]byte, f Format) (Block, error) {
 	b := Block{Format: f}
 	switch f {
 	case Classic:
-		b.Major = getBits(&raw, 0, 64)
-		for i := 0; i < LinesPerPage; i++ {
-			b.Minor[i] = uint8(getBits(&raw, 64+uint(i)*7, 7))
-		}
+		b.Major = binary.LittleEndian.Uint64(raw[0:8])
+		unpackLanes7(raw[8:64], &b.Minor)
 	case Resized:
-		b.CoW = getBits(&raw, 0, 1) == 1
-		b.Major = getBits(&raw, 1, 63)
+		head := binary.LittleEndian.Uint64(raw[0:8])
+		b.CoW = head&1 == 1
+		b.Major = head >> 1
 		if b.CoW {
-			for i := 0; i < LinesPerPage; i++ {
-				b.Minor[i] = uint8(getBits(&raw, 64+uint(i)*6, 6))
-			}
-			b.Src = getBits(&raw, 448, 64)
+			unpackLanes6(raw[8:56], &b.Minor)
+			b.Src = binary.LittleEndian.Uint64(raw[56:64])
 		} else {
-			for i := 0; i < LinesPerPage; i++ {
-				b.Minor[i] = uint8(getBits(&raw, 64+uint(i)*7, 7))
-			}
+			unpackLanes7(raw[8:64], &b.Minor)
 		}
 	default:
 		return b, fmt.Errorf("ctr: unknown format %v", f)
 	}
 	return b, nil
+}
+
+// packLanes7 stores the 64 seven-bit minors into 56 bytes, one 56-bit
+// little-endian group of eight minors per seven bytes.
+func packLanes7(dst []byte, m *[LinesPerPage]uint8) {
+	_ = dst[55]
+	for g := 0; g < 8; g++ {
+		v := uint64(m[8*g]) | uint64(m[8*g+1])<<7 | uint64(m[8*g+2])<<14 |
+			uint64(m[8*g+3])<<21 | uint64(m[8*g+4])<<28 | uint64(m[8*g+5])<<35 |
+			uint64(m[8*g+6])<<42 | uint64(m[8*g+7])<<49
+		o := 7 * g
+		dst[o] = byte(v)
+		dst[o+1] = byte(v >> 8)
+		dst[o+2] = byte(v >> 16)
+		dst[o+3] = byte(v >> 24)
+		dst[o+4] = byte(v >> 32)
+		dst[o+5] = byte(v >> 40)
+		dst[o+6] = byte(v >> 48)
+	}
+}
+
+// unpackLanes7 is the inverse of packLanes7.
+func unpackLanes7(src []byte, m *[LinesPerPage]uint8) {
+	_ = src[55]
+	for g := 0; g < 8; g++ {
+		o := 7 * g
+		v := uint64(src[o]) | uint64(src[o+1])<<8 | uint64(src[o+2])<<16 |
+			uint64(src[o+3])<<24 | uint64(src[o+4])<<32 | uint64(src[o+5])<<40 |
+			uint64(src[o+6])<<48
+		m[8*g] = uint8(v & 0x7f)
+		m[8*g+1] = uint8(v >> 7 & 0x7f)
+		m[8*g+2] = uint8(v >> 14 & 0x7f)
+		m[8*g+3] = uint8(v >> 21 & 0x7f)
+		m[8*g+4] = uint8(v >> 28 & 0x7f)
+		m[8*g+5] = uint8(v >> 35 & 0x7f)
+		m[8*g+6] = uint8(v >> 42 & 0x7f)
+		m[8*g+7] = uint8(v >> 49 & 0x7f)
+	}
+}
+
+// packLanes6 stores the 64 six-bit minors of a CoW block into 48 bytes, one
+// 48-bit little-endian group of eight minors per six bytes.
+func packLanes6(dst []byte, m *[LinesPerPage]uint8) {
+	_ = dst[47]
+	for g := 0; g < 8; g++ {
+		v := uint64(m[8*g]) | uint64(m[8*g+1])<<6 | uint64(m[8*g+2])<<12 |
+			uint64(m[8*g+3])<<18 | uint64(m[8*g+4])<<24 | uint64(m[8*g+5])<<30 |
+			uint64(m[8*g+6])<<36 | uint64(m[8*g+7])<<42
+		o := 6 * g
+		dst[o] = byte(v)
+		dst[o+1] = byte(v >> 8)
+		dst[o+2] = byte(v >> 16)
+		dst[o+3] = byte(v >> 24)
+		dst[o+4] = byte(v >> 32)
+		dst[o+5] = byte(v >> 40)
+	}
+}
+
+// unpackLanes6 is the inverse of packLanes6.
+func unpackLanes6(src []byte, m *[LinesPerPage]uint8) {
+	_ = src[47]
+	for g := 0; g < 8; g++ {
+		o := 6 * g
+		v := uint64(src[o]) | uint64(src[o+1])<<8 | uint64(src[o+2])<<16 |
+			uint64(src[o+3])<<24 | uint64(src[o+4])<<32 | uint64(src[o+5])<<40
+		m[8*g] = uint8(v & 0x3f)
+		m[8*g+1] = uint8(v >> 6 & 0x3f)
+		m[8*g+2] = uint8(v >> 12 & 0x3f)
+		m[8*g+3] = uint8(v >> 18 & 0x3f)
+		m[8*g+4] = uint8(v >> 24 & 0x3f)
+		m[8*g+5] = uint8(v >> 30 & 0x3f)
+		m[8*g+6] = uint8(v >> 36 & 0x3f)
+		m[8*g+7] = uint8(v >> 42 & 0x3f)
+	}
 }
 
 // Increment advances the minor counter of line i, as done after every
@@ -253,27 +326,3 @@ func (b *Block) Equal(o *Block) bool {
 	return b.Minor == o.Minor
 }
 
-// getBits extracts n (<=64) bits starting at bit position pos (LSB-first
-// within each byte) from the 64-byte block.
-func getBits(raw *[BlockBytes]byte, pos, n uint) uint64 {
-	var v uint64
-	for i := uint(0); i < n; i++ {
-		bit := pos + i
-		if raw[bit>>3]&(1<<(bit&7)) != 0 {
-			v |= 1 << i
-		}
-	}
-	return v
-}
-
-// setBits stores the low n bits of v at bit position pos.
-func setBits(raw *[BlockBytes]byte, pos, n uint, v uint64) {
-	for i := uint(0); i < n; i++ {
-		bit := pos + i
-		if v&(1<<i) != 0 {
-			raw[bit>>3] |= 1 << (bit & 7)
-		} else {
-			raw[bit>>3] &^= 1 << (bit & 7)
-		}
-	}
-}

@@ -84,6 +84,20 @@ func (c *Cache) Get(page uint64) *ctr.Block {
 	return nil
 }
 
+// Peek returns the cached counter block for the page without any side
+// effects: no LRU promotion, no hit/miss accounting, no tick advance.
+// Introspection paths that must not perturb measurements (Engine.IsCoW and
+// friends) use it instead of Get.
+func (c *Cache) Peek(page uint64) *ctr.Block {
+	set := c.set(page)
+	for i := range set {
+		if set[i].valid && set[i].page == page {
+			return &set[i].blk
+		}
+	}
+	return nil
+}
+
 // Victim is an evicted dirty counter block that must be packed and written
 // to the NVM metadata region.
 type Victim struct {

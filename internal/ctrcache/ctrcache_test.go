@@ -25,6 +25,40 @@ func TestGetMissThenHit(t *testing.T) {
 	}
 }
 
+func TestPeekHasNoSideEffects(t *testing.T) {
+	c := New(4<<10, 4, WriteBack, 2)
+	if c.Peek(7) != nil {
+		t.Fatal("peek of an absent page must return nil")
+	}
+	c.Put(7, blk(1))
+	got := c.Peek(7)
+	if got == nil || got.Major != 1 {
+		t.Fatal("peek must return the cached block")
+	}
+	if c.Hits != 0 || c.Misses != 0 {
+		t.Fatalf("peek touched the hit/miss counters: hits=%d misses=%d", c.Hits, c.Misses)
+	}
+}
+
+func TestPeekDoesNotPromoteLRU(t *testing.T) {
+	// 1 set x 2 ways: pages 0 and 1 fill the set, 0 being LRU.
+	c := New(2*ctr.BlockBytes, 2, WriteBack, 2)
+	c.Put(0, blk(10))
+	c.Put(1, blk(11))
+	// A Get would promote page 0; Peek must not, so the next insert still
+	// evicts page 0.
+	if c.Peek(0) == nil {
+		t.Fatal("peek hit expected")
+	}
+	c.Put(2, blk(12))
+	if c.Peek(0) != nil {
+		t.Fatal("page 0 should have been evicted: Peek promoted it in the LRU order")
+	}
+	if c.Peek(1) == nil {
+		t.Fatal("page 1 should have survived the eviction")
+	}
+}
+
 func TestPointerMutationSticks(t *testing.T) {
 	c := New(4<<10, 4, WriteBack, 2)
 	c.Put(3, blk(1))

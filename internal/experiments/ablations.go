@@ -22,16 +22,21 @@ func AblationNonSecure(o Options) (*Report, error) {
 	t := stats.NewTable("Ablation — Lelantus on non-secure memory (Section III-G)",
 		"config", "exec-ms", "nvm-writes", "speedup-vs-own-baseline")
 	script := workload.Forkbench(o.forkbenchParams(false))
-	for _, nonSecure := range []bool{false, true} {
+	modes := []bool{false, true}
+	var jobs []sim.GridJob
+	for _, nonSecure := range modes {
+		nonSecure := nonSecure
 		mut := func(c *sim.Config) { c.Mem.Core.NonSecure = nonSecure }
-		base, err := o.run(core.Baseline, script, mut)
-		if err != nil {
-			return nil, err
-		}
-		lel, err := o.run(core.Lelantus, script, mut)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs,
+			o.job(fmt.Sprintf("nonsecure=%v/baseline", nonSecure), core.Baseline, script, mut),
+			o.job(fmt.Sprintf("nonsecure=%v/lelantus", nonSecure), core.Lelantus, script, mut))
+	}
+	results, err := o.runGrid(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, nonSecure := range modes {
+		base, lel := results[2*i], results[2*i+1]
 		label := "secure"
 		if nonSecure {
 			label = "non-secure"
@@ -54,13 +59,19 @@ func AblationCoWCache(o Options) (*Report, error) {
 	t := stats.NewTable("Ablation — reserved CoW-metadata cache size (Lelantus-CoW)",
 		"reserve", "cow-miss-rate", "exec-ms", "nvm-writes")
 	script := workload.Redis(false, o.Seed)
-	for _, kb := range []uint64{1, 4, 32, 128} {
-		res, err := o.run(core.LelantusCoW, script, func(c *sim.Config) {
-			c.Mem.CoWReserveBytes = kb << 10
-		})
-		if err != nil {
-			return nil, err
-		}
+	sweep := []uint64{1, 4, 32, 128}
+	var jobs []sim.GridJob
+	for _, kb := range sweep {
+		kb := kb
+		jobs = append(jobs, o.job(fmt.Sprintf("cowcache/%dKB", kb), core.LelantusCoW, script,
+			func(c *sim.Config) { c.Mem.CoWReserveBytes = kb << 10 }))
+	}
+	results, err := o.runGrid(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, kb := range sweep {
+		res := results[i]
 		t.Add(fmt.Sprintf("%dKB", kb),
 			fmt.Sprintf("%.4f", res.CoWMissRate),
 			float64(res.ExecNs)/1e6, res.NVMWrites)
@@ -80,16 +91,21 @@ func AblationCtrCache(o Options) (*Report, error) {
 	t := stats.NewTable("Ablation — counter cache size (Lelantus, redis)",
 		"size", "ctr-miss-rate", "exec-ms")
 	script := workload.Redis(false, o.Seed)
-	for _, kb := range []uint64{32, 64, 256, 1024} {
-		res, err := o.run(core.Lelantus, script, func(c *sim.Config) {
-			c.Mem.CtrCacheBytes = kb << 10
-		})
-		if err != nil {
-			return nil, err
-		}
+	sweep := []uint64{32, 64, 256, 1024}
+	var jobs []sim.GridJob
+	for _, kb := range sweep {
+		kb := kb
+		jobs = append(jobs, o.job(fmt.Sprintf("ctrcache/%dKB", kb), core.Lelantus, script,
+			func(c *sim.Config) { c.Mem.CtrCacheBytes = kb << 10 }))
+	}
+	results, err := o.runGrid(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, kb := range sweep {
 		t.Add(fmt.Sprintf("%dKB", kb),
-			fmt.Sprintf("%.4f", res.CtrMissRate),
-			float64(res.ExecNs)/1e6)
+			fmt.Sprintf("%.4f", results[i].CtrMissRate),
+			float64(results[i].ExecNs)/1e6)
 	}
 	return &Report{
 		ID:    "ablation-ctrcache",
@@ -105,7 +121,9 @@ func AblationCtrCache(o Options) (*Report, error) {
 func AblationTLB(o Options) (*Report, error) {
 	t := stats.NewTable("Ablation — TLB reach, 4KB vs 2MB pages",
 		"page", "tlb-walks", "tlb-miss-rate", "exec-ms")
-	for _, huge := range []bool{false, true} {
+	modes := []bool{false, true}
+	var jobs []sim.GridJob
+	for _, huge := range modes {
 		b := workload.NewBuilder("tlb-reach")
 		regionBytes := uint64(16 << 20)
 		lines := regionBytes / 64
@@ -121,10 +139,14 @@ func AblationTLB(o Options) (*Report, error) {
 		}
 		b.EndMeasure()
 		b.Exit(0)
-		res, err := o.run(core.Lelantus, b.Script(), nil)
-		if err != nil {
-			return nil, err
-		}
+		jobs = append(jobs, o.job(fmt.Sprintf("tlb/huge=%v", huge), core.Lelantus, b.Script(), nil))
+	}
+	results, err := o.runGrid(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, huge := range modes {
+		res := results[i]
 		label := "4KB"
 		if huge {
 			label = "2MB"
@@ -149,14 +171,17 @@ func AblationWear(o Options) (*Report, error) {
 	t := stats.NewTable("Ablation — wear (hottest-line writes, forkbench)",
 		"scheme", "max-wear", "nvm-writes")
 	script := workload.Forkbench(o.forkbenchParams(false))
+	var jobs []sim.GridJob
 	for _, s := range core.Schemes() {
-		res, err := o.run(s, script, func(c *sim.Config) {
-			c.Mem.NVM.TrackWear = true
-		})
-		if err != nil {
-			return nil, err
-		}
-		t.Add(s.String(), res.MaxWear, res.NVMWrites)
+		jobs = append(jobs, o.job("wear/"+s.String(), s, script,
+			func(c *sim.Config) { c.Mem.NVM.TrackWear = true }))
+	}
+	results, err := o.runGrid(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range core.Schemes() {
+		t.Add(s.String(), results[i].MaxWear, results[i].NVMWrites)
 	}
 	return &Report{
 		ID:    "ablation-wear",
@@ -172,17 +197,23 @@ func AblationWear(o Options) (*Report, error) {
 func UseCases(o Options) (*Report, error) {
 	t := stats.NewTable("Extension — Section II-C use cases",
 		"scenario", "scheme", "exec-ms", "nvm-writes", "speedup", "writes%")
-	for _, spec := range workload.UseCases() {
+	specs := workload.UseCases()
+	schemes := core.Schemes()
+	var jobs []sim.GridJob
+	for _, spec := range specs {
 		script := spec.Build(false, o.Seed)
-		var base sim.Result
-		for i, s := range core.Schemes() {
-			res, err := o.run(s, script, nil)
-			if err != nil {
-				return nil, err
-			}
-			if i == 0 {
-				base = res
-			}
+		for _, s := range schemes {
+			jobs = append(jobs, o.job(fmt.Sprintf("usecase/%s/%v", spec.Name, s), s, script, nil))
+		}
+	}
+	results, err := o.runGrid(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for wi, spec := range specs {
+		base := results[wi*len(schemes)]
+		for si, s := range schemes {
+			res := results[wi*len(schemes)+si]
 			t.Add(spec.Name, s.String(),
 				float64(res.ExecNs)/1e6, res.NVMWrites,
 				res.SpeedupVs(base), 100*res.WriteReductionVs(base))
@@ -209,31 +240,44 @@ func AblationWriteQueue(o Options) (*Report, error) {
 	t := stats.NewTable("Ablation — merging write queue (redis, write-through counters)",
 		"scheme", "queue", "device-writes", "merged", "exec-ms")
 	script := workload.Redis(false, o.Seed)
-	for _, s := range []core.Scheme{core.Baseline, core.Lelantus} {
-		for _, withQueue := range []bool{false, true} {
-			var qcfg *nvm.QueueConfig
+	rowSchemes := []core.Scheme{core.Baseline, core.Lelantus}
+	queueModes := []bool{false, true}
+	merged := make([]uint64, len(rowSchemes)*len(queueModes))
+	var jobs []sim.GridJob
+	for _, s := range rowSchemes {
+		for _, withQueue := range queueModes {
+			withQueue := withQueue
+			slot := len(jobs)
+			job := o.job(fmt.Sprintf("writequeue/%v/queue=%v", s, withQueue), s, script,
+				func(c *sim.Config) {
+					c.Mem.CtrCacheMode = ctrcache.WriteThrough
+					if withQueue {
+						qcfg := nvm.DefaultQueueConfig()
+						c.Mem.WriteQueue = &qcfg
+					}
+				})
 			if withQueue {
-				c := nvm.DefaultQueueConfig()
-				qcfg = &c
+				job.After = func(m *sim.Machine, _ sim.Result) {
+					merged[slot] = m.Ctl.Queue.Merged
+				}
 			}
-			m, err := sim.NewMachine(o.machineConfig(s, func(c *sim.Config) {
-				c.Mem.CtrCacheMode = ctrcache.WriteThrough
-				c.Mem.WriteQueue = qcfg
-			}))
-			if err != nil {
-				return nil, err
-			}
-			res, err := m.Run(script)
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs, job)
+		}
+	}
+	results, err := o.runGrid(jobs)
+	if err != nil {
+		return nil, err
+	}
+	next := 0
+	for _, s := range rowSchemes {
+		for _, withQueue := range queueModes {
+			res := results[next]
 			label := "off"
-			merged := uint64(0)
 			if withQueue {
 				label = "on"
-				merged = m.Ctl.Queue.Merged
 			}
-			t.Add(s.String(), label, res.NVMWrites, merged, float64(res.ExecNs)/1e6)
+			t.Add(s.String(), label, res.NVMWrites, merged[next], float64(res.ExecNs)/1e6)
+			next++
 		}
 	}
 	return &Report{

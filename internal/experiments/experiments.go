@@ -29,6 +29,11 @@ type Options struct {
 	// for every workload while keeping host memory modest; the paper's
 	// 16 GB changes nothing for these working sets).
 	MemBytes uint64
+	// Parallel caps the worker pool that fans independent simulation runs
+	// out over CPU cores (<= 0 selects GOMAXPROCS). Every run is a fully
+	// isolated machine and results are consumed index-aligned, so reports
+	// are byte-identical at any worker count.
+	Parallel int
 }
 
 // DefaultOptions returns full-size experiment settings.
@@ -45,10 +50,10 @@ func (o Options) memBytes() uint64 {
 
 // Report is one regenerated table or figure.
 type Report struct {
-	ID    string // e.g. "fig9", "tableV"
-	Title string
-	Table *stats.Table
-	Notes []string
+	ID    string       `json:"id"` // e.g. "fig9", "tableV"
+	Title string       `json:"title"`
+	Table *stats.Table `json:"table"`
+	Notes []string     `json:"notes,omitempty"`
 }
 
 // String renders the report.
@@ -84,6 +89,18 @@ func (o Options) machineConfig(scheme core.Scheme, mutate func(*sim.Config)) sim
 // run executes one script on a fresh machine.
 func (o Options) run(scheme core.Scheme, script workload.Script, mutate func(*sim.Config)) (sim.Result, error) {
 	return sim.RunWith(o.machineConfig(scheme, mutate), script)
+}
+
+// job builds one grid cell from the option set's machine parameters.
+func (o Options) job(tag string, scheme core.Scheme, script workload.Script, mutate func(*sim.Config)) sim.GridJob {
+	return sim.GridJob{Tag: tag, Config: o.machineConfig(scheme, mutate), Script: script}
+}
+
+// runGrid fans a job list out over the configured worker pool. Generators
+// build their jobs in row order and consume the index-aligned results in
+// the same order, so every table is independent of the worker count.
+func (o Options) runGrid(jobs []sim.GridJob) ([]sim.Result, error) {
+	return sim.RunGrid(jobs, o.Parallel)
 }
 
 // forkbenchParams scales forkbench for the option set.

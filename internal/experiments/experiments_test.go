@@ -72,6 +72,38 @@ func TestByID(t *testing.T) {
 	}
 }
 
+// TestParallelDeterminism is the harness-level determinism guarantee: a
+// generator renders byte-identical reports whether its grid runs on one
+// worker or on eight. (Every generator consumes index-aligned grid
+// results, so the property holds structurally for all of them; this runs
+// the cheapest generators that still exercise multi-job grids, After
+// hooks and config mutators.)
+func TestParallelDeterminism(t *testing.T) {
+	gens := map[string]func(Options) (*Report, error){
+		"fig2":          Fig2,
+		"ablation-wear": AblationWear,
+		"ablation-tlb":  AblationTLB,
+	}
+	for name, gen := range gens {
+		seq := quickOpts()
+		seq.Parallel = 1
+		par := quickOpts()
+		par.Parallel = 8
+		r1, err := gen(seq)
+		if err != nil {
+			t.Fatalf("%s sequential: %v", name, err)
+		}
+		r8, err := gen(par)
+		if err != nil {
+			t.Fatalf("%s parallel: %v", name, err)
+		}
+		if r1.String() != r8.String() {
+			t.Fatalf("%s differs between 1 and 8 workers:\n--- 1 worker\n%s\n--- 8 workers\n%s",
+				name, r1, r8)
+		}
+	}
+}
+
 // TestAllQuickSmoke regenerates every experiment at quick scale — the
 // whole harness must stay runnable end to end.
 func TestAllQuickSmoke(t *testing.T) {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"lelantus/internal/core"
 	"lelantus/internal/ctrcache"
@@ -24,6 +25,12 @@ func Fig2(o Options) (*Report, error) {
 	if o.Quick {
 		regionBytes = 4 << 20
 	}
+	type cell struct {
+		label   string
+		logical uint64
+	}
+	var cells []cell
+	var jobs []sim.GridJob
 	for _, pm := range pageModes() {
 		unit := uint64(mem.PageBytes)
 		if pm.Huge {
@@ -44,19 +51,24 @@ func Fig2(o Options) (*Report, error) {
 				Huge:         pm.Huge,
 				ChildExits:   true,
 			}
-			res, err := o.run(core.Baseline, workload.Forkbench(p), nil)
-			if err != nil {
-				return nil, err
-			}
-			logical := units * upd.lines
-			t.Add(
-				fmt.Sprintf("%s(%s)", pm.Name, upd.label),
-				logical,
-				res.Engine.DataWrites,
-				float64(res.Engine.DataWrites)/float64(logical),
-				float64(res.NVMWrites)/float64(logical),
-			)
+			label := fmt.Sprintf("%s(%s)", pm.Name, upd.label)
+			cells = append(cells, cell{label, units * upd.lines})
+			jobs = append(jobs, o.job("fig2/"+label, core.Baseline, workload.Forkbench(p), nil))
 		}
+	}
+	results, err := o.runGrid(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		res := results[i]
+		t.Add(
+			c.label,
+			c.logical,
+			res.Engine.DataWrites,
+			float64(res.Engine.DataWrites)/float64(c.logical),
+			float64(res.NVMWrites)/float64(c.logical),
+		)
 	}
 	return &Report{
 		ID:    "fig2",
@@ -68,20 +80,19 @@ func Fig2(o Options) (*Report, error) {
 	}, nil
 }
 
-// fig9Run executes one (workload, scheme, page-size) cell.
-func (o Options) fig9Run(spec workload.Spec, scheme core.Scheme, huge bool) (sim.Result, error) {
-	var script workload.Script
+// fig9Script builds one (workload, page-size) script of the catalogue.
+func (o Options) fig9Script(spec workload.Spec, huge bool) workload.Script {
 	if spec.Name == "forkbench" {
-		script = workload.Forkbench(o.forkbenchParams(huge))
-	} else {
-		script = spec.Build(huge, o.Seed)
+		return workload.Forkbench(o.forkbenchParams(huge))
 	}
-	return o.run(scheme, script, nil)
+	return spec.Build(huge, o.Seed)
 }
 
 // Fig9 reproduces the end-to-end comparison (Fig. 9a-9d): speedup over the
 // Baseline and NVM writes relative to the Baseline for Silent Shredder,
-// Lelantus and Lelantus-CoW across the benchmark catalogue.
+// Lelantus and Lelantus-CoW across the benchmark catalogue. Each workload
+// contributes four independent machines (the Baseline plus the three
+// schemes), all fanned out over the grid.
 func Fig9(o Options, huge bool) (*Report, error) {
 	mode := "4KB"
 	if huge {
@@ -91,20 +102,31 @@ func Fig9(o Options, huge bool) (*Report, error) {
 		"workload",
 		"speedup-shredder", "speedup-lelantus", "speedup-lelantus-cow",
 		"writes%-shredder", "writes%-lelantus", "writes%-lelantus-cow")
+	specs := workload.Catalogue()
+	schemes := comparedSchemes()
+	stride := 1 + len(schemes)
+	var jobs []sim.GridJob
+	for _, spec := range specs {
+		script := o.fig9Script(spec, huge)
+		jobs = append(jobs, o.job(
+			fmt.Sprintf("fig9-%s/%s/baseline", mode, spec.Name), core.Baseline, script, nil))
+		for _, s := range schemes {
+			jobs = append(jobs, o.job(
+				fmt.Sprintf("fig9-%s/%s/%v", mode, spec.Name, s), s, script, nil))
+		}
+	}
+	results, err := o.runGrid(jobs)
+	if err != nil {
+		return nil, err
+	}
 	var geoLel float64 = 1
 	n := 0
-	for _, spec := range workload.Catalogue() {
-		base, err := o.fig9Run(spec, core.Baseline, huge)
-		if err != nil {
-			return nil, fmt.Errorf("%s/baseline: %w", spec.Name, err)
-		}
+	for wi, spec := range specs {
+		base := results[wi*stride]
 		row := []interface{}{spec.Name}
 		var speeds, writes []float64
-		for _, s := range comparedSchemes() {
-			res, err := o.fig9Run(spec, s, huge)
-			if err != nil {
-				return nil, fmt.Errorf("%s/%v: %w", spec.Name, s, err)
-			}
+		for si := range schemes {
+			res := results[wi*stride+1+si]
 			speeds = append(speeds, res.SpeedupVs(base))
 			writes = append(writes, 100*res.WriteReductionVs(base))
 		}
@@ -141,29 +163,71 @@ func geomean(product float64, n int) float64 {
 // Fig10 reproduces the design-choice diagnostics: (a) minor-counter
 // overflow rate under both encodings, (b) the CoW-metadata cache miss
 // rate of Lelantus-CoW, and (c/d) the page-access footprint of CoW pages
-// under Baseline versus Lelantus.
+// under Baseline versus Lelantus. All three sections are one grid.
 func Fig10(o Options) (*Report, error) {
 	t := stats.NewTable("Fig. 10 — encoding diagnostics",
 		"metric", "workload", "value")
+
+	var jobs []sim.GridJob
 
 	// (a) Overflow rate: the CoW-page rewrite stress (journal commits on
 	// snapshotted pages) plus the ordinary forkbench, with randomly
 	// initialised counters. The resized 6-bit minors overflow roughly
 	// twice as often as the classic 7-bit layout.
-	for _, s := range []core.Scheme{core.Lelantus, core.LelantusCoW} {
-		for _, wl := range []struct {
-			name   string
-			script workload.Script
-		}{
-			{"journal", workload.Journal(false, o.Seed)},
-			{"forkbench", workload.Forkbench(o.forkbenchParams(false))},
-		} {
-			res, err := o.run(s, wl.script, func(c *sim.Config) {
-				c.Mem.Core.RandomInitCounters = true
-			})
-			if err != nil {
-				return nil, err
-			}
+	randomCtrs := func(c *sim.Config) { c.Mem.Core.RandomInitCounters = true }
+	overflowSchemes := []core.Scheme{core.Lelantus, core.LelantusCoW}
+	overflowWLs := []struct {
+		name   string
+		script workload.Script
+	}{
+		{"journal", workload.Journal(false, o.Seed)},
+		{"forkbench", workload.Forkbench(o.forkbenchParams(false))},
+	}
+	for _, s := range overflowSchemes {
+		for _, wl := range overflowWLs {
+			jobs = append(jobs, o.job(
+				fmt.Sprintf("fig10/overflow/%v/%s", s, wl.name), s, wl.script, randomCtrs))
+		}
+	}
+
+	// (b) CoW cache miss rate (Lelantus-CoW).
+	var missSpecs []workload.Spec
+	for _, spec := range workload.Catalogue() {
+		if spec.Name == "non-copy" {
+			continue
+		}
+		missSpecs = append(missSpecs, spec)
+		jobs = append(jobs, o.job(
+			"fig10/cow-miss/"+spec.Name, core.LelantusCoW, o.fig9Script(spec, false), nil))
+	}
+
+	// (c)/(d) Page access footprint of CoW destination pages. The mean
+	// footprint lives in engine state the Result does not carry, so an
+	// After hook harvests it into a per-job slot on the worker.
+	fpSchemes := []core.Scheme{core.Baseline, core.Lelantus}
+	fpMeans := make([]float64, len(fpSchemes))
+	fpScript := workload.Forkbench(o.forkbenchParams(false))
+	for i, s := range fpSchemes {
+		i := i
+		job := o.job("fig10/footprint/"+s.String(), s, fpScript, func(c *sim.Config) {
+			c.Kernel.TrackFootprints = true
+		})
+		job.After = func(m *sim.Machine, _ sim.Result) {
+			fpMeans[i] = meanFootprint(m.Ctl.Engine.Footprints())
+		}
+		jobs = append(jobs, job)
+	}
+
+	results, err := o.runGrid(jobs)
+	if err != nil {
+		return nil, err
+	}
+
+	next := 0
+	for _, s := range overflowSchemes {
+		for _, wl := range overflowWLs {
+			res := results[next]
+			next++
 			rate := 0.0
 			if res.Engine.MinorIncrements > 0 {
 				rate = float64(res.Engine.Overflows) / float64(res.Engine.MinorIncrements)
@@ -171,26 +235,12 @@ func Fig10(o Options) (*Report, error) {
 			t.Add("overflow-rate/"+s.String(), wl.name, fmt.Sprintf("%.6f", rate))
 		}
 	}
-
-	// (b) CoW cache miss rate (Lelantus-CoW).
-	for _, spec := range workload.Catalogue() {
-		if spec.Name == "non-copy" {
-			continue
-		}
-		res, err := o.fig9Run(spec, core.LelantusCoW, false)
-		if err != nil {
-			return nil, err
-		}
-		t.Add("cow-cache-miss", spec.Name, fmt.Sprintf("%.4f", res.CoWMissRate))
+	for _, spec := range missSpecs {
+		t.Add("cow-cache-miss", spec.Name, fmt.Sprintf("%.4f", results[next].CoWMissRate))
+		next++
 	}
-
-	// (c)/(d) Page access footprint of CoW destination pages.
-	for _, s := range []core.Scheme{core.Baseline, core.Lelantus} {
-		fp, err := o.footprint(s)
-		if err != nil {
-			return nil, err
-		}
-		t.Add("footprint-lines/page", s.String(), fmt.Sprintf("%.1f of 64", fp))
+	for i, s := range fpSchemes {
+		t.Add("footprint-lines/page", s.String(), fmt.Sprintf("%.1f of 64", fpMeans[i]))
 	}
 
 	return &Report{
@@ -203,36 +253,17 @@ func Fig10(o Options) (*Report, error) {
 	}, nil
 }
 
-// footprint runs forkbench with footprint tracking and returns the mean
-// number of lines touched per CoW destination page.
-func (o Options) footprint(scheme core.Scheme) (float64, error) {
-	p := o.forkbenchParams(false)
-	m, err := sim.NewMachine(o.machineConfig(scheme, func(c *sim.Config) {
-		c.Kernel.TrackFootprints = true
-	}))
-	if err != nil {
-		return 0, err
-	}
-	if _, err := m.Run(workload.Forkbench(p)); err != nil {
-		return 0, err
-	}
-	fps := m.Ctl.Engine.Footprints()
+// meanFootprint averages the number of touched lines per tracked CoW
+// destination page.
+func meanFootprint(fps map[uint64]uint64) float64 {
 	if len(fps) == 0 {
-		return 0, nil
+		return 0
 	}
-	var total int
+	total := 0
 	for _, mask := range fps {
-		total += popcount(mask)
+		total += bits.OnesCount64(mask)
 	}
-	return float64(total) / float64(len(fps)), nil
-}
-
-func popcount(x uint64) int {
-	n := 0
-	for ; x != 0; x &= x - 1 {
-		n++
-	}
-	return n
+	return float64(total) / float64(len(fps))
 }
 
 // Fig11 reproduces the forkbench sensitivity study: the child updates a
@@ -255,22 +286,25 @@ func Fig11(o Options, huge bool) (*Report, error) {
 	t := stats.NewTable(fmt.Sprintf("Fig. 11 — forkbench sensitivity (%s pages)", mode),
 		"bytes/page", "speedup-lelantus", "speedup-lelantus-cow",
 		"writes%-lelantus", "writes%-lelantus-cow")
+	rowSchemes := []core.Scheme{core.Baseline, core.Lelantus, core.LelantusCoW}
+	var jobs []sim.GridJob
 	for _, bytes := range sweep {
 		p := o.forkbenchParams(huge)
 		p.BytesPerUnit = bytes
 		script := workload.Forkbench(p)
-		base, err := o.run(core.Baseline, script, nil)
-		if err != nil {
-			return nil, err
+		for _, s := range rowSchemes {
+			jobs = append(jobs, o.job(
+				fmt.Sprintf("fig11-%s/%d/%v", mode, bytes, s), s, script, nil))
 		}
-		lel, err := o.run(core.Lelantus, script, nil)
-		if err != nil {
-			return nil, err
-		}
-		cow, err := o.run(core.LelantusCoW, script, nil)
-		if err != nil {
-			return nil, err
-		}
+	}
+	results, err := o.runGrid(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, bytes := range sweep {
+		base := results[i*len(rowSchemes)]
+		lel := results[i*len(rowSchemes)+1]
+		cow := results[i*len(rowSchemes)+2]
 		t.Add(bytes,
 			lel.SpeedupVs(base), cow.SpeedupVs(base),
 			100*lel.WriteReductionVs(base), 100*cow.WriteReductionVs(base))
@@ -290,18 +324,27 @@ func Fig11(o Options, huge bool) (*Report, error) {
 func Fig12(o Options) (*Report, error) {
 	t := stats.NewTable("Fig. 12 — encryption-counter write strategy (redis)",
 		"page", "strategy", "baseline-ms", "lelantus-ms", "speedup")
+	modes := []ctrcache.Mode{ctrcache.WriteThrough, ctrcache.WriteBack}
+	var jobs []sim.GridJob
 	for _, pm := range pageModes() {
-		for _, mode := range []ctrcache.Mode{ctrcache.WriteThrough, ctrcache.WriteBack} {
-			script := workload.Redis(pm.Huge, o.Seed)
+		script := workload.Redis(pm.Huge, o.Seed)
+		for _, mode := range modes {
+			mode := mode
 			mut := func(c *sim.Config) { c.Mem.CtrCacheMode = mode }
-			base, err := o.run(core.Baseline, script, mut)
-			if err != nil {
-				return nil, err
-			}
-			lel, err := o.run(core.Lelantus, script, mut)
-			if err != nil {
-				return nil, err
-			}
+			jobs = append(jobs,
+				o.job(fmt.Sprintf("fig12/%s/%v/baseline", pm.Name, mode), core.Baseline, script, mut),
+				o.job(fmt.Sprintf("fig12/%s/%v/lelantus", pm.Name, mode), core.Lelantus, script, mut))
+		}
+	}
+	results, err := o.runGrid(jobs)
+	if err != nil {
+		return nil, err
+	}
+	next := 0
+	for _, pm := range pageModes() {
+		for _, mode := range modes {
+			base, lel := results[next], results[next+1]
+			next += 2
 			t.Add(pm.Name, mode.String(),
 				float64(base.ExecNs)/1e6, float64(lel.ExecNs)/1e6,
 				lel.SpeedupVs(base))

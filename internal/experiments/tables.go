@@ -23,23 +23,23 @@ func TableI(o Options) (*Report, error) {
 	// non-temporal stores, the pattern that actually exercises minor
 	// counter widths (cache-resident rewrites never reach the counters).
 	script := workload.Journal(false, o.Seed)
-	run := func(s core.Scheme) (sim.Result, error) {
-		return o.run(s, script, func(c *sim.Config) {
-			c.Mem.Core.RandomInitCounters = true
-		})
+	randomCtrs := func(c *sim.Config) { c.Mem.Core.RandomInitCounters = true }
+	rowSchemes := []core.Scheme{core.Lelantus, core.LelantusCoW}
+	var jobs []sim.GridJob
+	for _, s := range rowSchemes {
+		jobs = append(jobs, o.job("tableI/"+s.String(), s, script, randomCtrs))
 	}
-	// The classic-layout reference: Lelantus-CoW's 7-bit minors.
-	ref, err := run(core.LelantusCoW)
+	results, err := o.runGrid(jobs)
 	if err != nil {
 		return nil, err
 	}
+	// The classic-layout reference: Lelantus-CoW's 7-bit minors (the runs
+	// are deterministic, so the row's own result doubles as the reference).
+	ref := results[1]
 	baseRate := rate(ref.Engine.Overflows, ref.Engine.MinorIncrements)
 
-	for _, s := range []core.Scheme{core.Lelantus, core.LelantusCoW} {
-		res, err := run(s)
-		if err != nil {
-			return nil, err
-		}
+	for i, s := range rowSchemes {
+		res := results[i]
 		r := rate(res.Engine.Overflows, res.Engine.MinorIncrements)
 		rel := "-"
 		if baseRate > 0 {
@@ -115,12 +115,17 @@ func TableV(o Options) (*Report, error) {
 		"redis": "71.57%", "mariadb": "48.11%", "shell": "59.1%",
 		"non-copy": "-",
 	}
-	for _, spec := range workload.Catalogue() {
-		res, err := o.fig9Run(spec, core.Baseline, false)
-		if err != nil {
-			return nil, err
-		}
-		t.Add(spec.Name, fmt.Sprintf("%.2f%%", 100*res.CopyInitShare), paper[spec.Name])
+	specs := workload.Catalogue()
+	var jobs []sim.GridJob
+	for _, spec := range specs {
+		jobs = append(jobs, o.job("tableV/"+spec.Name, core.Baseline, o.fig9Script(spec, false), nil))
+	}
+	results, err := o.runGrid(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for i, spec := range specs {
+		t.Add(spec.Name, fmt.Sprintf("%.2f%%", 100*results[i].CopyInitShare), paper[spec.Name])
 	}
 	return &Report{
 		ID:    "tableV",

@@ -1,0 +1,91 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"lelantus/internal/workload"
+)
+
+// GridJob is one independent cell of a scheme × workload × configuration
+// sweep: a fresh machine built from Config runs Script to completion.
+type GridJob struct {
+	// Tag labels the job in error messages, e.g. "fig9/redis/lelantus".
+	Tag    string
+	Config Config
+	Script workload.Script
+	// After, when non-nil, runs on the worker goroutine once the script
+	// completes, with exclusive access to the finished machine. Use it to
+	// harvest state the Result does not carry (footprints, write-queue
+	// merge counters) into per-job storage.
+	After func(*Machine, Result)
+}
+
+// GridWorkers resolves a requested worker count: values <= 0 select
+// GOMAXPROCS, and the pool is never larger than the job list.
+func GridWorkers(requested, jobs int) int {
+	w := requested
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > jobs {
+		w = jobs
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// RunGrid executes every job on a fresh machine, fanning the jobs out over
+// a pool of at most `workers` goroutines (<= 0 selects GOMAXPROCS). Every
+// Machine is fully isolated — no state is shared between jobs — so the
+// grid is embarrassingly parallel. Results are index-aligned with jobs,
+// which makes the output independent of the worker count and of goroutine
+// scheduling: the same jobs produce byte-identical results at workers=1
+// and workers=N. All jobs run even if some fail; the error of the
+// lowest-indexed failing job is returned.
+func RunGrid(jobs []GridJob, workers int) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	if len(jobs) == 0 {
+		return results, nil
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := GridWorkers(workers, len(jobs)); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				job := &jobs[i]
+				m, err := NewMachine(job.Config)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				res, err := m.Run(job.Script)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				if job.After != nil {
+					job.After(m, res)
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("sim: grid job %d (%s): %w", i, jobs[i].Tag, err)
+		}
+	}
+	return results, nil
+}

@@ -151,7 +151,6 @@ func (m *Machine) Run(s workload.Script) (Result, error) {
 
 	begin := m.snap()
 	var end *snapshot
-	var buf [mem.LineBytes]byte
 	var err error
 	for idx, op := range s.Ops {
 		opStart := m.now
@@ -164,14 +163,8 @@ func (m *Machine) Run(s workload.Script) (Result, error) {
 			if err == nil {
 				m.regions[op.Region] = va
 			}
-		case workload.OpLoad:
-			m.now, err = m.Kern.Read(m.now, m.procs[op.Proc], m.regions[op.Region]+op.Off, buf[:clampSize(op.Size)])
-		case workload.OpStore:
-			data := buf[:clampSize(op.Size)]
-			for i := range data {
-				data[i] = op.Val
-			}
-			m.now, err = m.Kern.Write(m.now, m.procs[op.Proc], m.regions[op.Region]+op.Off, data)
+		case workload.OpLoad, workload.OpStore:
+			m.now, err = m.access(m.now, op)
 		case workload.OpStoreNT:
 			var line [mem.LineBytes]byte
 			for i := range line {
@@ -215,7 +208,18 @@ func (m *Machine) Run(s workload.Script) (Result, error) {
 		if err != nil {
 			return Result{}, fmt.Errorf("sim: op %d (%s): %w", idx, op, err)
 		}
-		if op.Kind != workload.OpBeginMeasure && op.Kind != workload.OpEndMeasure {
+		switch op.Kind {
+		case workload.OpBeginMeasure, workload.OpEndMeasure:
+			// Measurement markers consume no process time.
+		case workload.OpKSM:
+			// KSM ops carry their participants in op.Procs and leave
+			// op.Proc at its zero value; billing slot 0 would silently
+			// charge an uninvolved process. Every participant waits for
+			// the merge, so each is charged the elapsed time.
+			for _, ps := range op.Procs {
+				m.procNs[ps] += m.now - opStart
+			}
+		default:
 			m.procNs[op.Proc] += m.now - opStart
 		}
 	}
@@ -261,14 +265,40 @@ func (m *Machine) Run(s workload.Script) (Result, error) {
 	return res, nil
 }
 
-func clampSize(n int) int {
-	if n <= 0 {
-		return 1
+// access issues one scripted OpLoad/OpStore. Accesses larger than a 64 B
+// line — or straddling a line boundary — are split into per-line kernel
+// requests, so every scripted byte is transferred (no silent truncation).
+// A non-positive size degenerates to a single byte.
+func (m *Machine) access(now uint64, op workload.Op) (uint64, error) {
+	size := op.Size
+	if size <= 0 {
+		size = 1
 	}
-	if n > mem.LineBytes {
-		return mem.LineBytes
+	pid := m.procs[op.Proc]
+	va := m.regions[op.Region] + op.Off
+	var buf [mem.LineBytes]byte
+	var err error
+	for size > 0 {
+		chunk := mem.LineBytes - int(va&(mem.LineBytes-1))
+		if chunk > size {
+			chunk = size
+		}
+		piece := buf[:chunk]
+		if op.Kind == workload.OpStore {
+			for i := range piece {
+				piece[i] = op.Val
+			}
+			now, err = m.Kern.Write(now, pid, va, piece)
+		} else {
+			now, err = m.Kern.Read(now, pid, va, piece)
+		}
+		if err != nil {
+			return now, err
+		}
+		va += uint64(chunk)
+		size -= chunk
 	}
-	return n
+	return now, nil
 }
 
 // RunOne builds a fresh default machine for the scheme and runs the script

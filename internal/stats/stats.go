@@ -3,6 +3,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
@@ -87,6 +88,40 @@ func (t *Table) String() string {
 		line(r)
 	}
 	return b.String()
+}
+
+// Header returns the column headers.
+func (t *Table) Header() []string { return t.header }
+
+// Rows returns the formatted row cells.
+func (t *Table) Rows() [][]string { return t.rows }
+
+// MarshalJSON encodes the table as {"title", "header", "rows"} so reports
+// can be consumed by scripts (lelantus-bench -json).
+func (t *Table) MarshalJSON() ([]byte, error) {
+	rows := t.rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	return json.Marshal(struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}{t.Title, t.header, rows})
+}
+
+// UnmarshalJSON restores a table encoded with MarshalJSON.
+func (t *Table) UnmarshalJSON(b []byte) error {
+	var v struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	t.Title, t.header, t.rows = v.Title, v.Header, v.Rows
+	return nil
 }
 
 // Markdown renders the table as a GitHub-flavoured markdown table.

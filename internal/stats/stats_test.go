@@ -1,9 +1,42 @@
 package stats
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	tb := NewTable("T", "a", "b")
+	tb.Add("x", 1.5)
+	tb.Add("y", 2)
+	raw, err := json.Marshal(tb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"title":"T"`, `"header":["a","b"]`, `["x","1.50"]`} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("JSON missing %s:\n%s", want, raw)
+		}
+	}
+	var back Table
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.String() != tb.String() {
+		t.Fatalf("round trip changed the table:\n%s\nvs\n%s", back.String(), tb.String())
+	}
+}
+
+func TestEmptyTableJSON(t *testing.T) {
+	raw, err := json.Marshal(NewTable("E", "c"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"rows":[]`) {
+		t.Fatalf("empty table must encode rows as [], got %s", raw)
+	}
+}
 
 func TestRatioAndPct(t *testing.T) {
 	if Ratio(1, 3, 2) != "0.33" {

@@ -25,9 +25,11 @@
 // and figure of the paper's evaluation section.
 //
 // Concurrency: a Machine is a single simulated system with one global
-// clock and is not safe for concurrent use. Run independent simulations
-// on independent Machines (they share nothing), one goroutine each —
-// that is how the benchmark harness parallelises sweeps.
+// clock and is not safe for concurrent use. Independent simulations run
+// on independent Machines (they share nothing); RunGrid fans a list of
+// (scheme, workload, config) cells out over a worker pool that way, with
+// index-aligned results, so sweeps parallelise without changing a single
+// reported byte — that is how the benchmark harness runs.
 package lelantus
 
 import (
@@ -103,3 +105,12 @@ func Run(s Scheme, script Script) (Result, error) { return sim.RunOne(s, script)
 
 // RunWith executes the script on a fresh machine built from cfg.
 func RunWith(cfg Config, script Script) (Result, error) { return sim.RunWith(cfg, script) }
+
+// GridJob is one independent cell of a scheme × workload × configuration
+// sweep, executed on its own fresh machine by RunGrid.
+type GridJob = sim.GridJob
+
+// RunGrid executes every job on a worker pool of at most `workers`
+// goroutines (<= 0 selects GOMAXPROCS) and returns results index-aligned
+// with the jobs: the output is byte-identical at any worker count.
+func RunGrid(jobs []GridJob, workers int) ([]Result, error) { return sim.RunGrid(jobs, workers) }
