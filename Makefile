@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench verify
+.PHONY: all build vet test race bench bench-json verify
 
 all: verify
 
@@ -22,5 +22,18 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# bench-json captures the crypto/metadata hot-path benchmarks as a committed
+# JSON baseline: the ReadLine/WriteLine micro-benchmarks (with allocation
+# counts) at a fixed benchtime, plus every Fig9 quick cell at two
+# iterations (each iteration is one full deterministic simulation, so two
+# are enough for a stable ns/op). BENCH_seed.json holds the
+# pre-optimization baseline; regenerate BENCH_hotpath.json after touching
+# the hot path and compare.
+bench-json:
+	{ $(GO) test -run '^$$' -bench '^(BenchmarkReadLine|BenchmarkWriteLine)$$' \
+	      -benchmem -benchtime 0.2s . ; \
+	  $(GO) test -run '^$$' -bench '^BenchmarkFig9$$' -benchtime 2x . ; } \
+	  | $(GO) run ./cmd/benchjson > BENCH_hotpath.json
 
 verify: build vet test race

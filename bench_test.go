@@ -136,23 +136,67 @@ func BenchmarkGridRun(b *testing.B) {
 	}
 }
 
-// BenchmarkEngineReadLine measures the raw engine read path (cache-hot
-// counters), the per-access cost floor of the simulator itself.
-func BenchmarkEngineReadLine(b *testing.B) {
+// benchEngine builds a machine and warms a small working set: every line of
+// pages 4..7 is written once, so counter blocks are cached, MAC entries
+// exist and the written marks are set — the steady state the hot-path
+// allocation budget is defined over (see DESIGN.md "Performance model").
+func benchEngine(b *testing.B, s core.Scheme) (*core.Engine, []uint64) {
+	b.Helper()
+	cfg := sim.DefaultConfig(s)
+	cfg.Mem.MemBytes = 64 << 20
+	m, err := sim.NewMachine(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := m.Ctl.Engine
+	var addrs []uint64
+	var plain [64]byte
+	plain[0] = 0x5A
+	for pfn := uint64(4); pfn < 8; pfn++ {
+		for i := 0; i < 64; i++ {
+			addr := pfn<<12 | uint64(i)<<6
+			if _, err := e.WriteLine(0, addr, &plain); err != nil {
+				b.Fatal(err)
+			}
+			addrs = append(addrs, addr)
+		}
+	}
+	return e, addrs
+}
+
+// BenchmarkReadLine measures the steady-state engine read path per scheme
+// (counter cache hot, line resident): MAC verification plus pad generation
+// and decryption. With -benchmem this is the allocation-budget check — the
+// steady state must run at ~0 allocs/op.
+func BenchmarkReadLine(b *testing.B) {
 	for _, s := range core.Schemes() {
 		b.Run(s.String(), func(b *testing.B) {
-			cfg := sim.DefaultConfig(s)
-			cfg.Mem.MemBytes = 64 << 20
-			m, err := sim.NewMachine(cfg)
-			if err != nil {
-				b.Fatal(err)
-			}
-			if _, err := m.Ctl.Store(0, 0x10000, []byte{1}); err != nil {
-				b.Fatal(err)
-			}
+			e, addrs := benchEngine(b, s)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, _, err := m.Ctl.Engine.ReadLine(0, 0x10000); err != nil {
+				if _, _, err := e.ReadLine(0, addrs[i%len(addrs)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWriteLine measures the steady-state engine write path per scheme:
+// pad generation, encryption, MAC update and the counter-block store.
+// Rotating over 256 warm lines keeps minor-counter overflows rare, so the
+// occasional page re-encryption amortises to ~0 allocs/op.
+func BenchmarkWriteLine(b *testing.B) {
+	for _, s := range core.Schemes() {
+		b.Run(s.String(), func(b *testing.B) {
+			e, addrs := benchEngine(b, s)
+			var plain [64]byte
+			plain[0] = 0xA5
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.WriteLine(0, addrs[i%len(addrs)], &plain); err != nil {
 					b.Fatal(err)
 				}
 			}

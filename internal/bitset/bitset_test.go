@@ -1,0 +1,114 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBasicOps(t *testing.T) {
+	s := New(256)
+	if s.Test(0) || s.Test(255) || s.Count() != 0 {
+		t.Fatal("fresh set not empty")
+	}
+	s.Set(0)
+	s.Set(63)
+	s.Set(64)
+	s.Set(255)
+	for _, i := range []uint64{0, 63, 64, 255} {
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set", i)
+		}
+	}
+	if s.Test(1) || s.Test(128) {
+		t.Fatal("unset bit reads as set")
+	}
+	if s.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", s.Count())
+	}
+	s.Set(63) // idempotent
+	if s.Count() != 4 {
+		t.Fatalf("double-set changed count to %d", s.Count())
+	}
+	s.Clear(63)
+	if s.Test(63) || s.Count() != 3 {
+		t.Fatalf("clear failed: test=%v count=%d", s.Test(63), s.Count())
+	}
+	s.Clear(63) // idempotent
+	if s.Count() != 3 {
+		t.Fatalf("double-clear changed count to %d", s.Count())
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	s := New(64)
+	if s.Test(1 << 20) {
+		t.Fatal("out-of-range Test must be false")
+	}
+	s.Clear(1 << 20) // must not panic or grow
+	s.Set(1 << 10)   // grows
+	if !s.Test(1 << 10) {
+		t.Fatal("grown bit lost")
+	}
+	if s.Count() != 1 {
+		t.Fatalf("Count = %d, want 1", s.Count())
+	}
+}
+
+func TestZeroValue(t *testing.T) {
+	var s Set
+	if s.Test(5) {
+		t.Fatal("zero-value set not empty")
+	}
+	s.Set(5)
+	if !s.Test(5) || s.Count() != 1 {
+		t.Fatal("zero-value set unusable")
+	}
+}
+
+// TestRandomisedAgainstMap cross-checks the set against a map model,
+// including the maintained count.
+func TestRandomisedAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := New(4096)
+	model := map[uint64]bool{}
+	for i := 0; i < 20000; i++ {
+		idx := uint64(rng.Intn(5000)) // occasionally beyond the pre-size
+		switch rng.Intn(3) {
+		case 0:
+			s.Set(idx)
+			model[idx] = true
+		case 1:
+			s.Clear(idx)
+			delete(model, idx)
+		case 2:
+			if got, want := s.Test(idx), model[idx]; got != want {
+				t.Fatalf("step %d: Test(%d) = %v, want %v", i, idx, got, want)
+			}
+		}
+	}
+	if s.Count() != len(model) {
+		t.Fatalf("Count = %d, model has %d", s.Count(), len(model))
+	}
+	if s.Count() != s.recount() {
+		t.Fatalf("maintained count %d != popcount %d", s.Count(), s.recount())
+	}
+	s.Reset()
+	if s.Count() != 0 || s.recount() != 0 {
+		t.Fatal("Reset left bits behind")
+	}
+}
+
+// TestSteadyStateAllocFree: in-range operations must never allocate.
+func TestSteadyStateAllocFree(t *testing.T) {
+	s := New(1 << 16)
+	avg := testing.AllocsPerRun(1000, func() {
+		s.Set(12345)
+		if !s.Test(12345) {
+			t.Fatal("lost bit")
+		}
+		s.Clear(12345)
+	})
+	if avg != 0 {
+		t.Fatalf("bitset ops allocate %.2f allocs/op, want 0", avg)
+	}
+}

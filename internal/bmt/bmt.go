@@ -8,6 +8,29 @@
 // tree (the root is kept on chip); data blocks are protected by a MAC
 // computed over (ciphertext, address, counter), which the counter's
 // freshness guarantee makes replay-proof.
+//
+// The implementation is built for the simulator's hot path:
+//
+//   - One HMAC state per Tree/MACStore, reused via Reset(): crypto/hmac
+//     caches the padded-key states after the first Sum, so a reset is a
+//     small fixed-size restore instead of a fresh key schedule, and no
+//     per-operation allocation happens. Scratch buffers live in the struct
+//     so nothing passed to the hash interface escapes to the heap. The
+//     price is that a Tree or MACStore must not be used concurrently —
+//     which the per-machine simulator never does.
+//   - Root maintenance is lazy: Update computes the new leaf hash
+//     immediately (the raw block is not retained) and only marks the
+//     leaf-to-root path dirty; inner nodes and the root are recomputed on
+//     the next Verify or Root call. Back-to-back updates under a shared
+//     subtree collapse into one recomputation of that subtree, which is
+//     exactly the scheduling win tree-update streamlining papers (Freij et
+//     al.) report for hardware — here it removes the dominant metadata
+//     cost of counter-block drains.
+//
+// The lazy tree is observationally identical to an eager one: Updates and
+// Verifies still count logical operations, and Root()/Verify() always see
+// the fully propagated state (a differential test checks byte-identical
+// roots against an eager reference).
 package bmt
 
 import (
@@ -15,6 +38,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"hash"
 )
 
 // Arity is the tree fan-out. An 8-ary tree over 64 B counter blocks keeps
@@ -24,17 +48,40 @@ const Arity = 8
 
 const hashSize = sha256.Size
 
+// Domain-separation tags. Package-level so writing them to the hash never
+// materialises a fresh slice.
+var (
+	leafTag = []byte("leaf")
+	nodeTag = []byte("node")
+)
+
 // Tree is a sparse Bonsai Merkle Tree over counter-block indices.
 // Level 0 holds leaf hashes (one per counter block); the single node at
-// the top level is the on-chip root.
+// the top level is the on-chip root. Not safe for concurrent use.
 type Tree struct {
-	key    []byte
 	levels int
 	// nodes[l] maps node index at level l to its hash. Absent nodes have
 	// the precomputed default hash for that level (all-absent subtree).
 	nodes    []map[uint64][hashSize]byte
 	defaults [][hashSize]byte
 	root     [hashSize]byte
+
+	// dirty[l] (l >= 1) holds inner nodes whose children changed since the
+	// last flush. Invariant: a dirty node's ancestors are all dirty, so
+	// Update can stop climbing at the first already-dirty node.
+	dirty   []map[uint64]struct{}
+	pending bool
+
+	// mac is the reusable keyed HMAC state; idxBuf/childBuf/sumBuf are the
+	// scratch buffers handed to it (struct fields, so the interface call
+	// does not force a heap allocation per operation).
+	mac      hash.Hash
+	idxBuf   [8]byte
+	childBuf [hashSize]byte
+	sumBuf   [hashSize]byte
+	// rawBuf keeps a reusable copy of leaf content so the caller's buffer
+	// never escapes through the hash interface.
+	rawBuf []byte
 
 	Updates  uint64
 	verifies uint64
@@ -46,10 +93,12 @@ func New(key []byte, nBlocks uint64) *Tree {
 	for span := uint64(1); span < nBlocks; span *= Arity {
 		levels++
 	}
-	t := &Tree{key: append([]byte(nil), key...), levels: levels}
+	t := &Tree{levels: levels, mac: hmac.New(sha256.New, key)}
 	t.nodes = make([]map[uint64][hashSize]byte, levels)
+	t.dirty = make([]map[uint64]struct{}, levels)
 	for i := range t.nodes {
 		t.nodes[i] = make(map[uint64][hashSize]byte)
+		t.dirty[i] = make(map[uint64]struct{})
 	}
 	// Default (empty) hashes, bottom-up.
 	t.defaults = make([][hashSize]byte, levels)
@@ -61,32 +110,31 @@ func New(key []byte, nBlocks uint64) *Tree {
 	return t
 }
 
-func (t *Tree) mac(parts ...[]byte) [hashSize]byte {
-	m := hmac.New(sha256.New, t.key)
-	for _, p := range parts {
-		m.Write(p)
-	}
-	var out [hashSize]byte
-	copy(out[:], m.Sum(nil))
-	return out
+// finish finalises the running MAC into the scratch buffer and returns it.
+func (t *Tree) finish() [hashSize]byte {
+	t.mac.Sum(t.sumBuf[:0])
+	return t.sumBuf
 }
 
 func (t *Tree) leafHash(idx uint64, raw []byte) [hashSize]byte {
-	var ib [8]byte
-	binary.LittleEndian.PutUint64(ib[:], idx)
-	return t.mac([]byte("leaf"), ib[:], raw)
+	binary.LittleEndian.PutUint64(t.idxBuf[:], idx)
+	t.rawBuf = append(t.rawBuf[:0], raw...)
+	t.mac.Reset()
+	t.mac.Write(leafTag)
+	t.mac.Write(t.idxBuf[:])
+	t.mac.Write(t.rawBuf)
+	return t.finish()
 }
 
 // innerHash of a node whose children are all default at the level below.
 func (t *Tree) innerHash(childDefault [hashSize]byte) [hashSize]byte {
-	m := hmac.New(sha256.New, t.key)
-	m.Write([]byte("node"))
+	t.mac.Reset()
+	t.mac.Write(nodeTag)
+	t.childBuf = childDefault
 	for i := 0; i < Arity; i++ {
-		m.Write(childDefault[:])
+		t.mac.Write(t.childBuf[:])
 	}
-	var out [hashSize]byte
-	copy(out[:], m.Sum(nil))
-	return out
+	return t.finish()
 }
 
 func (t *Tree) nodeHash(level int, idx uint64) [hashSize]byte {
@@ -97,29 +145,51 @@ func (t *Tree) nodeHash(level int, idx uint64) [hashSize]byte {
 }
 
 func (t *Tree) recomputeInner(level int, idx uint64) [hashSize]byte {
-	m := hmac.New(sha256.New, t.key)
-	m.Write([]byte("node"))
+	t.mac.Reset()
+	t.mac.Write(nodeTag)
 	base := idx * Arity
 	for i := uint64(0); i < Arity; i++ {
-		h := t.nodeHash(level-1, base+i)
-		m.Write(h[:])
+		t.childBuf = t.nodeHash(level-1, base+i)
+		t.mac.Write(t.childBuf[:])
 	}
-	var out [hashSize]byte
-	copy(out[:], m.Sum(nil))
-	return out
+	return t.finish()
 }
 
-// Update installs the new content of counter block idx and refreshes the
-// path to the root.
+// Update installs the new content of counter block idx. Only the leaf hash
+// is computed now; the path to the root is marked dirty and recomputed
+// lazily on the next Verify or Root call, so bursts of updates (a counter
+// drain, neighbouring pages) share one propagation pass.
 func (t *Tree) Update(idx uint64, raw []byte) {
 	t.Updates++
 	t.nodes[0][idx] = t.leafHash(idx, raw)
+	t.pending = true
 	node := idx
 	for l := 1; l < t.levels; l++ {
 		node /= Arity
-		t.nodes[l][node] = t.recomputeInner(l, node)
+		if _, ok := t.dirty[l][node]; ok {
+			// Its ancestors are already dirty too (invariant): this update
+			// collapses into a previously marked path.
+			return
+		}
+		t.dirty[l][node] = struct{}{}
+	}
+}
+
+// flush propagates all dirty paths and re-derives the on-chip root. Levels
+// are processed bottom-up, so every recompute reads fully refreshed
+// children.
+func (t *Tree) flush() {
+	if !t.pending {
+		return
+	}
+	for l := 1; l < t.levels; l++ {
+		for node := range t.dirty[l] {
+			t.nodes[l][node] = t.recomputeInner(l, node)
+		}
+		clear(t.dirty[l])
 	}
 	t.root = t.nodeHash(t.levels-1, 0)
+	t.pending = false
 }
 
 // Verify checks that the given counter-block content is authentic: the leaf
@@ -127,24 +197,23 @@ func (t *Tree) Update(idx uint64, raw []byte) {
 // the on-chip root.
 func (t *Tree) Verify(idx uint64, raw []byte) error {
 	t.verifies++
+	t.flush()
 	h := t.leafHash(idx, raw)
 	node := idx
 	for l := 1; l < t.levels; l++ {
 		parent := node / Arity
-		m := hmac.New(sha256.New, t.key)
-		m.Write([]byte("node"))
+		t.mac.Reset()
+		t.mac.Write(nodeTag)
 		base := parent * Arity
 		for i := uint64(0); i < Arity; i++ {
-			child := base + i
-			var ch [hashSize]byte
-			if child == node {
-				ch = h
+			if child := base + i; child == node {
+				t.childBuf = h
 			} else {
-				ch = t.nodeHash(l-1, child)
+				t.childBuf = t.nodeHash(l-1, child)
 			}
-			m.Write(ch[:])
+			t.mac.Write(t.childBuf[:])
 		}
-		copy(h[:], m.Sum(nil))
+		h = t.finish()
 		node = parent
 	}
 	if h != t.root {
@@ -156,48 +225,98 @@ func (t *Tree) Verify(idx uint64, raw []byte) error {
 // Verifies returns the number of verification operations performed.
 func (t *Tree) Verifies() uint64 { return t.verifies }
 
-// Root returns the current on-chip root (for tests).
-func (t *Tree) Root() [hashSize]byte { return t.root }
+// Root returns the current on-chip root, propagating any pending updates
+// first (tests and crash-drain use it as the quiesce point).
+func (t *Tree) Root() [hashSize]byte {
+	t.flush()
+	return t.root
+}
+
+// macPageLines groups per-line MACs into fixed 64-line pages (one 4 KB data
+// page's worth), so the store is a dense two-level table instead of a map:
+// page lookup is an array index, presence is one bit, and the Drop-heavy
+// CoW command stream (64 drops per page_copy/free/init) never churns hash
+// buckets.
+const macPageLines = 64
+
+// macPage holds one data page's MACs plus a presence bitmask.
+type macPage struct {
+	present uint64
+	sums    [macPageLines][hashSize]byte
+}
 
 // MACStore holds the per-line data MACs. A line's MAC binds the ciphertext
 // to its address and encryption counter, so stale or relocated ciphertext
-// fails verification.
+// fails verification. Not safe for concurrent use (single reusable HMAC
+// state, like Tree).
 type MACStore struct {
-	key  []byte
-	macs map[uint64][hashSize]byte
+	mac   hash.Hash
+	pages []*macPage
+
+	hdrBuf  [17]byte
+	sumBuf  [hashSize]byte
+	ciphBuf []byte
 }
 
 // NewMACStore creates an empty MAC store with the given key.
 func NewMACStore(key []byte) *MACStore {
-	return &MACStore{key: append([]byte(nil), key...), macs: make(map[uint64][hashSize]byte)}
+	return &MACStore{mac: hmac.New(sha256.New, key)}
+}
+
+// page returns the MAC page for a line number, materialising it if create
+// is set; otherwise absent pages return nil.
+func (s *MACStore) page(lineNo uint64, create bool) *macPage {
+	idx := lineNo / macPageLines
+	if idx >= uint64(len(s.pages)) {
+		if !create {
+			return nil
+		}
+		grown := make([]*macPage, idx+1+idx/2)
+		copy(grown, s.pages)
+		s.pages = grown
+	}
+	p := s.pages[idx]
+	if p == nil && create {
+		p = new(macPage)
+		s.pages[idx] = p
+	}
+	return p
 }
 
 func (s *MACStore) compute(lineNo uint64, ciph []byte, major uint64, minor uint8) [hashSize]byte {
-	m := hmac.New(sha256.New, s.key)
-	var b [17]byte
-	binary.LittleEndian.PutUint64(b[0:8], lineNo)
-	binary.LittleEndian.PutUint64(b[8:16], major)
-	b[16] = minor
-	m.Write(b[:])
-	m.Write(ciph)
-	var out [hashSize]byte
-	copy(out[:], m.Sum(nil))
-	return out
+	binary.LittleEndian.PutUint64(s.hdrBuf[0:8], lineNo)
+	binary.LittleEndian.PutUint64(s.hdrBuf[8:16], major)
+	s.hdrBuf[16] = minor
+	// Copy into the reusable scratch so the caller's (often stack-resident)
+	// ciphertext buffer does not escape through the hash interface.
+	s.ciphBuf = append(s.ciphBuf[:0], ciph...)
+	s.mac.Reset()
+	s.mac.Write(s.hdrBuf[:])
+	s.mac.Write(s.ciphBuf)
+	s.mac.Sum(s.sumBuf[:0])
+	return s.sumBuf
 }
 
 // Update records the MAC for a freshly written line.
 func (s *MACStore) Update(lineNo uint64, ciph []byte, major uint64, minor uint8) {
-	s.macs[lineNo] = s.compute(lineNo, ciph, major, minor)
+	p := s.page(lineNo, true)
+	slot := lineNo % macPageLines
+	p.sums[slot] = s.compute(lineNo, ciph, major, minor)
+	p.present |= 1 << slot
 }
 
 // Verify checks a line read from NVM. Lines never written (e.g. demand-zero
 // content) have no MAC yet and verify trivially.
 func (s *MACStore) Verify(lineNo uint64, ciph []byte, major uint64, minor uint8) error {
-	want, ok := s.macs[lineNo]
-	if !ok {
+	p := s.page(lineNo, false)
+	if p == nil {
 		return nil
 	}
-	if got := s.compute(lineNo, ciph, major, minor); got != want {
+	slot := lineNo % macPageLines
+	if p.present&(1<<slot) == 0 {
+		return nil
+	}
+	if got := s.compute(lineNo, ciph, major, minor); got != p.sums[slot] {
 		return fmt.Errorf("bmt: data MAC mismatch at line %#x", lineNo)
 	}
 	return nil
@@ -205,5 +324,7 @@ func (s *MACStore) Verify(lineNo uint64, ciph []byte, major uint64, minor uint8)
 
 // Drop removes the MAC of a line (page freed and its metadata reset).
 func (s *MACStore) Drop(lineNo uint64) {
-	delete(s.macs, lineNo)
+	if p := s.page(lineNo, false); p != nil {
+		p.present &^= 1 << (lineNo % macPageLines)
+	}
 }

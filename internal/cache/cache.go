@@ -15,22 +15,26 @@ type Victim struct {
 	Data     [mem.LineBytes]byte
 }
 
-type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	tick  uint64
-	data  *[mem.LineBytes]byte
-}
+// invalidTag marks an empty way. Tags are line-aligned byte addresses, so
+// the all-ones pattern can never collide with a real line.
+const invalidTag = ^uint64(0)
 
-// Level is one set-associative cache level.
+// Level is one set-associative cache level. The ways of a set are stored
+// as parallel arrays — an 8-way set's tags (and, separately, its LRU
+// ticks) each span exactly one 64 B cache line of the host — because the
+// set scan in Lookup sits under every simulated memory access and
+// dominates the simulator's own runtime.
 type Level struct {
 	name      string
 	sets      uint64
-	ways      int
+	setMask   uint64 // sets-1 when sets is a power of two, else 0
+	ways      uint64
 	latency   uint64 // ns charged when the lookup reaches this level
 	holdsData bool
-	lines     []line
+	tags      []uint64
+	ticks     []uint64
+	dirty     []bool
+	data      []*[mem.LineBytes]byte // nil slice for tag-only levels
 	tick      uint64
 
 	Hits, Misses uint64
@@ -43,60 +47,107 @@ func NewLevel(name string, sizeBytes uint64, ways int, latencyNs uint64, holdsDa
 	if sets == 0 {
 		sets = 1
 	}
-	return &Level{
+	n := sets * uint64(ways)
+	l := &Level{
 		name:      name,
 		sets:      sets,
-		ways:      ways,
+		ways:      uint64(ways),
 		latency:   latencyNs,
 		holdsData: holdsData,
-		lines:     make([]line, sets*uint64(ways)),
+		tags:      make([]uint64, n),
+		ticks:     make([]uint64, n),
+		dirty:     make([]bool, n),
 	}
+	for i := range l.tags {
+		l.tags[i] = invalidTag
+	}
+	if holdsData {
+		l.data = make([]*[mem.LineBytes]byte, n)
+	}
+	if sets&(sets-1) == 0 {
+		// All standard geometries are powers of two; the mask turns the
+		// per-probe set index into an AND instead of a hardware division.
+		l.setMask = sets - 1
+	}
+	return l
 }
 
-func (l *Level) set(lineAddr uint64) []line {
-	s := (lineAddr >> mem.LineShift) % l.sets
-	return l.lines[s*uint64(l.ways) : (s+1)*uint64(l.ways)]
+// setBase returns the index of the first way of the line's set.
+func (l *Level) setBase(lineAddr uint64) uint64 {
+	var s uint64
+	if l.setMask != 0 {
+		s = (lineAddr >> mem.LineShift) & l.setMask
+	} else {
+		s = (lineAddr >> mem.LineShift) % l.sets
+	}
+	return s * l.ways
+}
+
+// find returns the way index holding the line, or -1.
+func (l *Level) find(lineAddr uint64) int {
+	base := l.setBase(lineAddr)
+	tags := l.tags[base : base+l.ways]
+	for i, t := range tags {
+		if t == lineAddr {
+			return int(base) + i
+		}
+	}
+	return -1
 }
 
 // Lookup probes for a line; on hit it refreshes LRU state and optionally
 // marks the line dirty.
 func (l *Level) Lookup(lineAddr uint64, makeDirty bool) bool {
 	l.tick++
-	set := l.set(lineAddr)
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			set[i].tick = l.tick
-			if makeDirty {
-				set[i].dirty = true
-			}
-			l.Hits++
-			return true
+	if i := l.find(lineAddr); i >= 0 {
+		l.ticks[i] = l.tick
+		if makeDirty {
+			l.dirty[i] = true
 		}
+		l.Hits++
+		return true
 	}
 	l.Misses++
 	return false
 }
 
 // Peek probes without touching LRU or statistics.
-func (l *Level) Peek(lineAddr uint64) bool {
-	set := l.set(lineAddr)
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			return true
-		}
-	}
-	return false
-}
+func (l *Level) Peek(lineAddr uint64) bool { return l.find(lineAddr) >= 0 }
 
 // Data returns a pointer to the cached copy of the line, or nil.
 func (l *Level) Data(lineAddr uint64) *[mem.LineBytes]byte {
-	set := l.set(lineAddr)
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			return set[i].data
-		}
+	if i := l.find(lineAddr); i >= 0 && l.holdsData {
+		return l.data[i]
 	}
 	return nil
+}
+
+// findOrVictim scans the line's set once: it returns (way, true) when the
+// line is present, else (way to fill, false) — the first invalid way if one
+// exists, otherwise the LRU way.
+func (l *Level) findOrVictim(lineAddr uint64) (int, bool) {
+	base := l.setBase(lineAddr)
+	tags := l.tags[base : base+l.ways]
+	invalid := -1
+	for i, t := range tags {
+		if t == lineAddr {
+			return int(base) + i, true
+		}
+		if invalid < 0 && t == invalidTag {
+			invalid = int(base) + i
+		}
+	}
+	if invalid >= 0 {
+		return invalid, false
+	}
+	ticks := l.ticks[base : base+l.ways]
+	pick := 0
+	for i, tk := range ticks {
+		if tk < ticks[pick] {
+			pick = i
+		}
+	}
+	return int(base) + pick, false
 }
 
 // Insert fills the line, evicting the LRU way if the set is full. The
@@ -104,76 +155,93 @@ func (l *Level) Data(lineAddr uint64) *[mem.LineBytes]byte {
 // can write dirty lines back and maintain inclusion.
 func (l *Level) Insert(lineAddr uint64, dirty bool, data *[mem.LineBytes]byte) (victim Victim, evicted bool) {
 	l.tick++
-	set := l.set(lineAddr)
 	// Already present (e.g. refill racing an earlier insert): update.
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			set[i].tick = l.tick
-			set[i].dirty = set[i].dirty || dirty
-			if l.holdsData && data != nil {
-				if set[i].data == nil {
-					set[i].data = new([mem.LineBytes]byte)
-				}
-				*set[i].data = *data
+	pick, present := l.findOrVictim(lineAddr)
+	if present {
+		l.ticks[pick] = l.tick
+		l.dirty[pick] = l.dirty[pick] || dirty
+		if l.holdsData && data != nil {
+			if l.data[pick] == nil {
+				l.data[pick] = new([mem.LineBytes]byte)
 			}
-			return Victim{}, false
+			*l.data[pick] = *data
 		}
+		return Victim{}, false
 	}
-	pick := -1
-	for i := range set {
-		if !set[i].valid {
-			pick = i
-			break
-		}
-	}
-	if pick < 0 {
-		pick = 0
-		for i := 1; i < len(set); i++ {
-			if set[i].tick < set[pick].tick {
-				pick = i
-			}
-		}
-		victim.LineAddr = set[pick].tag
-		victim.Dirty = set[pick].dirty
-		if set[pick].data != nil {
-			victim.Data = *set[pick].data
+	if l.tags[pick] != invalidTag {
+		victim.LineAddr = l.tags[pick]
+		victim.Dirty = l.dirty[pick]
+		if l.holdsData && l.data[pick] != nil {
+			victim.Data = *l.data[pick]
 		}
 		evicted = true
 	}
-	set[pick] = line{tag: lineAddr, valid: true, dirty: dirty, tick: l.tick}
+	l.tags[pick] = lineAddr
+	l.ticks[pick] = l.tick
+	l.dirty[pick] = dirty
 	if l.holdsData {
-		set[pick].data = new([mem.LineBytes]byte)
+		// Recycle the slot's line buffer: a data level churns through fills
+		// at memory speed and must not allocate one 64 B block per fill.
+		buf := l.data[pick]
+		if buf == nil {
+			buf = new([mem.LineBytes]byte)
+			l.data[pick] = buf
+		}
 		if data != nil {
-			*set[pick].data = *data
+			*buf = *data
+		} else {
+			*buf = [mem.LineBytes]byte{}
 		}
 	}
 	return victim, evicted
 }
 
+// insertTag is Insert for the tag-only levels: same placement and LRU
+// behaviour, but no victim is materialised (L1/L2 victims carry no state the
+// hierarchy needs — inclusion back-invalidates come from L3 evictions).
+func (l *Level) insertTag(lineAddr uint64, dirty bool) {
+	l.tick++
+	pick, present := l.findOrVictim(lineAddr)
+	if present {
+		l.ticks[pick] = l.tick
+		l.dirty[pick] = l.dirty[pick] || dirty
+		return
+	}
+	l.tags[pick] = lineAddr
+	l.ticks[pick] = l.tick
+	l.dirty[pick] = dirty
+}
+
 // Invalidate drops the line if present, returning its state.
 func (l *Level) Invalidate(lineAddr uint64) (victim Victim, present bool) {
-	set := l.set(lineAddr)
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			victim.LineAddr = lineAddr
-			victim.Dirty = set[i].dirty
-			if set[i].data != nil {
-				victim.Data = *set[i].data
-			}
-			set[i] = line{}
-			return victim, true
+	if i := l.find(lineAddr); i >= 0 {
+		victim.LineAddr = lineAddr
+		victim.Dirty = l.dirty[i]
+		if l.holdsData && l.data[i] != nil {
+			victim.Data = *l.data[i]
 		}
+		l.tags[i] = invalidTag // the data buffer stays for reuse
+		l.ticks[i] = 0
+		l.dirty[i] = false
+		return victim, true
 	}
 	return Victim{}, false
 }
 
+// drop invalidates the line without materialising a victim (bulk flush and
+// invalidate paths that do not need the line's state).
+func (l *Level) drop(lineAddr uint64) {
+	if i := l.find(lineAddr); i >= 0 {
+		l.tags[i] = invalidTag
+		l.ticks[i] = 0
+		l.dirty[i] = false
+	}
+}
+
 // Clean clears the dirty bit of a line (after an explicit write-back).
 func (l *Level) Clean(lineAddr uint64) {
-	set := l.set(lineAddr)
-	for i := range set {
-		if set[i].valid && set[i].tag == lineAddr {
-			set[i].dirty = false
-		}
+	if i := l.find(lineAddr); i >= 0 {
+		l.dirty[i] = false
 	}
 }
 
@@ -196,6 +264,10 @@ func DefaultConfig() Config {
 // Hierarchy is the inclusive three-level hierarchy. Line data lives in L3.
 type Hierarchy struct {
 	L1, L2, L3 *Level
+
+	// flushBuf backs the slice FlushPage returns; reused across calls so
+	// page flushes (every fork flushes the parent's pages) don't allocate.
+	flushBuf []Victim
 }
 
 // NewHierarchy builds the hierarchy from the configuration.
@@ -205,6 +277,32 @@ func NewHierarchy(cfg Config) *Hierarchy {
 		L2: NewLevel("L2", cfg.L2Bytes, cfg.Ways, cfg.L2Ns, false),
 		L3: NewLevel("L3", cfg.L3Bytes, cfg.Ways, cfg.L3Ns, true),
 	}
+}
+
+// peekData returns the data pointer without touching LRU or statistics
+// (data level only).
+func (l *Level) peekData(lineAddr uint64) *[mem.LineBytes]byte {
+	if i := l.find(lineAddr); i >= 0 {
+		return l.data[i]
+	}
+	return nil
+}
+
+// touchData is Lookup plus the data access in a single set scan (data
+// level only): on hit it refreshes LRU state, optionally marks the line
+// dirty, and returns the cached copy.
+func (l *Level) touchData(lineAddr uint64, makeDirty bool) *[mem.LineBytes]byte {
+	l.tick++
+	if i := l.find(lineAddr); i >= 0 {
+		l.ticks[i] = l.tick
+		if makeDirty {
+			l.dirty[i] = true
+		}
+		l.Hits++
+		return l.data[i]
+	}
+	l.Misses++
+	return nil
 }
 
 // Access performs a load or store probe. On a full miss the caller must
@@ -221,7 +319,7 @@ func (h *Hierarchy) Access(lineAddr uint64, write bool) (latencyNs uint64, missT
 	}
 	latencyNs += h.L2.latency
 	if h.L2.Lookup(lineAddr, write) {
-		h.L1.Insert(lineAddr, false, nil)
+		h.L1.insertTag(lineAddr, false)
 		if write {
 			h.L3.Lookup(lineAddr, true)
 		}
@@ -229,23 +327,53 @@ func (h *Hierarchy) Access(lineAddr uint64, write bool) (latencyNs uint64, missT
 	}
 	latencyNs += h.L3.latency
 	if h.L3.Lookup(lineAddr, write) {
-		h.L1.Insert(lineAddr, false, nil)
-		h.L2.Insert(lineAddr, false, nil)
+		h.L1.insertTag(lineAddr, false)
+		h.L2.insertTag(lineAddr, false)
 		return latencyNs, false
 	}
 	return latencyNs, true
+}
+
+// AccessData is Access fused with the data lookup: on a hit it also
+// returns the authoritative L3 copy (already marked dirty for writes), so
+// the hit path costs one L3 set scan instead of separate Access + Data +
+// MarkDirty probes. Replacement decisions are identical to Access: loads
+// hitting in L1/L2 do not refresh L3 recency, stores always do.
+func (h *Hierarchy) AccessData(lineAddr uint64, write bool) (latencyNs uint64, data *[mem.LineBytes]byte, missToMem bool) {
+	latencyNs = h.L1.latency
+	if h.L1.Lookup(lineAddr, write) {
+		if write {
+			return latencyNs, h.L3.touchData(lineAddr, true), false
+		}
+		return latencyNs, h.L3.peekData(lineAddr), false
+	}
+	latencyNs += h.L2.latency
+	if h.L2.Lookup(lineAddr, write) {
+		h.L1.insertTag(lineAddr, false)
+		if write {
+			return latencyNs, h.L3.touchData(lineAddr, true), false
+		}
+		return latencyNs, h.L3.peekData(lineAddr), false
+	}
+	latencyNs += h.L3.latency
+	if d := h.L3.touchData(lineAddr, write); d != nil {
+		h.L1.insertTag(lineAddr, false)
+		h.L2.insertTag(lineAddr, false)
+		return latencyNs, d, false
+	}
+	return latencyNs, nil, true
 }
 
 // Fill installs a line fetched from memory into all levels and returns any
 // dirty L3 victim that must be written back. Inclusion is maintained by
 // back-invalidating victims from L1/L2.
 func (h *Hierarchy) Fill(lineAddr uint64, dirty bool, data *[mem.LineBytes]byte) (wb Victim, needWB bool) {
-	h.L1.Insert(lineAddr, false, nil)
-	h.L2.Insert(lineAddr, false, nil)
+	h.L1.insertTag(lineAddr, false)
+	h.L2.insertTag(lineAddr, false)
 	v, evicted := h.L3.Insert(lineAddr, dirty, data)
 	if evicted {
-		h.L1.Invalidate(v.LineAddr)
-		h.L2.Invalidate(v.LineAddr)
+		h.L1.drop(v.LineAddr)
+		h.L2.drop(v.LineAddr)
 		if v.Dirty {
 			return v, true
 		}
@@ -266,17 +394,20 @@ func (h *Hierarchy) MarkDirty(lineAddr uint64) { h.L3.Lookup(lineAddr, true) }
 
 // FlushPage writes back and invalidates every resident line of the 4 KB
 // page, returning the dirty lines in page order. This models the kernel's
-// cache flush of a source page before write-protecting it.
+// cache flush of a source page before write-protecting it. The returned
+// slice aliases an internal scratch buffer and is only valid until the next
+// FlushPage call — callers consume it immediately.
 func (h *Hierarchy) FlushPage(pfn uint64) []Victim {
-	var dirty []Victim
+	dirty := h.flushBuf[:0]
 	for i := 0; i < mem.LinesPerPage; i++ {
 		la := mem.LineAddr(pfn, i)
-		h.L1.Invalidate(la)
-		h.L2.Invalidate(la)
+		h.L1.drop(la)
+		h.L2.drop(la)
 		if v, present := h.L3.Invalidate(la); present && v.Dirty {
 			dirty = append(dirty, v)
 		}
 	}
+	h.flushBuf = dirty
 	return dirty
 }
 
@@ -285,23 +416,23 @@ func (h *Hierarchy) FlushPage(pfn uint64) []Victim {
 func (h *Hierarchy) InvalidatePage(pfn uint64) {
 	for i := 0; i < mem.LinesPerPage; i++ {
 		la := mem.LineAddr(pfn, i)
-		h.L1.Invalidate(la)
-		h.L2.Invalidate(la)
-		h.L3.Invalidate(la)
+		h.L1.drop(la)
+		h.L2.drop(la)
+		h.L3.drop(la)
 	}
 }
 
 // DrainDirty writes back every dirty line (end-of-run accounting), calling
 // sink for each. Lines remain resident but clean.
 func (h *Hierarchy) DrainDirty(sink func(Victim)) {
-	for i := range h.L3.lines {
-		ln := &h.L3.lines[i]
-		if ln.valid && ln.dirty {
-			v := Victim{LineAddr: ln.tag, Dirty: true}
-			if ln.data != nil {
-				v.Data = *ln.data
+	l := h.L3
+	for i, tag := range l.tags {
+		if tag != invalidTag && l.dirty[i] {
+			v := Victim{LineAddr: tag, Dirty: true}
+			if l.data[i] != nil {
+				v.Data = *l.data[i]
 			}
-			ln.dirty = false
+			l.dirty[i] = false
 			sink(v)
 		}
 	}

@@ -19,7 +19,7 @@ func (e *Engine) clearLinePrivacy(pfn uint64) {
 	for i := 0; i < mem.LinesPerPage; i++ {
 		lineNo := mem.LineNo(mem.LineAddr(pfn, i))
 		e.MACs.Drop(lineNo)
-		delete(e.written, lineNo)
+		e.written.Clear(lineNo)
 	}
 }
 
@@ -163,7 +163,7 @@ func (e *Engine) PagePhyc(now, src, dst uint64) (done uint64, copied int, err er
 		la := mem.LineAddr(dst, i)
 		lineNo := mem.LineNo(la)
 		blk.Minor[i] = 1
-		e.written[lineNo] = true
+		e.written.Set(lineNo)
 		var wt uint64
 		if e.cfg.NonSecure {
 			e.Phys.WriteLine(la, &plain)

@@ -75,7 +75,7 @@ func (e *Engine) resolve(now, lineAddr uint64) ([mem.LineBytes]byte, uint64, err
 
 	lineNo := mem.LineNo(cur)
 	i := mem.LineIndex(cur)
-	if !e.written[lineNo] {
+	if !e.written.Test(lineNo) {
 		// The line was never encrypted to NVM (e.g. the shared zero frame):
 		// its plaintext is zeros. The fetch is still charged — the device
 		// does not know the content is dead.
@@ -129,7 +129,7 @@ func (e *Engine) WriteLine(now, lineAddr uint64, plain *[mem.LineBytes]byte) (ui
 		lineNo := mem.LineNo(lineAddr)
 		blk.Minor[li] = 0
 		e.MACs.Drop(lineNo)
-		delete(e.written, lineNo)
+		e.written.Clear(lineNo)
 		e.Stats.ZeroWriteElisions++
 		return e.storeBlock(t, pfn, &blk), nil
 	}
@@ -175,7 +175,7 @@ func (e *Engine) WriteLine(now, lineAddr uint64, plain *[mem.LineBytes]byte) (ui
 	}
 
 	lineNo := mem.LineNo(lineAddr)
-	e.written[lineNo] = true
+	e.written.Set(lineNo)
 	if e.cfg.NonSecure {
 		e.Phys.WriteLine(lineAddr, plain)
 		dataDone := e.Mem.Write(t, lineAddr)
@@ -210,7 +210,7 @@ func (e *Engine) reencryptPage(now, pfn uint64, blk *ctr.Block, skipLine int) (u
 		}
 		la := mem.LineAddr(pfn, i)
 		lineNo := mem.LineNo(la)
-		if !e.written[lineNo] {
+		if !e.written.Test(lineNo) {
 			// Randomly initialised counter with no resident data: the new
 			// epoch needs no data movement for this line.
 			continue
@@ -266,7 +266,12 @@ func (e *Engine) storeCoWMapping(now, dst, src uint64, present bool) uint64 {
 	}
 	addr := e.cowMetaAddr(dst)
 	var raw [mem.LineBytes]byte
+	// The 8-byte entry lives inside a 64 B metadata line, so the update is
+	// a read-modify-write: the line fetch costs a real NVM read, charged to
+	// time and traffic like any other metadata read.
 	e.Phys.ReadLine(addr, &raw)
+	now = e.Mem.Read(now, addr)
+	e.Stats.CoWMetaReads++
 	off := (dst * 8) % mem.LineBytes
 	v := src
 	if !present {

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"lelantus/internal/bitset"
 	"lelantus/internal/bmt"
 	"lelantus/internal/ctr"
 	"lelantus/internal/ctrcache"
@@ -218,17 +219,22 @@ type Engine struct {
 	rng *rand.Rand
 	// initialised marks counter blocks that exist in NVM (installed at
 	// simulated boot, free of charge, like a real machine's reset state).
-	initialised map[uint64]bool
+	// Dense bitset sized from the data region: the hot path tests it on
+	// every counter-block miss.
+	initialised *bitset.Set
 	// cowTable mirrors the supplementary CoW region's logical content
 	// (dstPFN -> srcPFN); the packed bytes also live in Phys.
 	cowTable map[uint64]uint64
 
 	// written marks lines that have ever been encrypted to NVM; reads of
-	// never-written lines return zeros (fresh memory).
-	written map[uint64]bool
+	// never-written lines return zeros (fresh memory). Dense bitset, one
+	// bit per data line — consulted on every read and set on every write.
+	written *bitset.Set
 
-	// footprint tracking for Fig. 10c/d.
-	tracked   map[uint64]bool
+	// footprint tracking for Fig. 10c/d. tracked is a per-page bitset so
+	// the per-access note() probe is branch-plus-word cheap; the footprint
+	// masks stay in a sparse map (only tracked pages ever appear).
+	tracked   *bitset.Set
 	footprint map[uint64]uint64 // pfn -> bitmask of lines touched
 
 	Stats Stats
@@ -238,6 +244,8 @@ type Engine struct {
 func NewEngine(cfg Config, layout Layout, phys *mem.Physical, dev *nvm.Device,
 	encEng *enc.Engine, tree *bmt.Tree, macs *bmt.MACStore,
 	cc *ctrcache.Cache, cowCache *ctrcache.CoWCache) *Engine {
+	pages := layout.DataLimit / mem.PageBytes
+	lines := layout.DataLimit / mem.LineBytes
 	return &Engine{
 		cfg:         cfg,
 		layout:      layout,
@@ -250,10 +258,10 @@ func NewEngine(cfg Config, layout Layout, phys *mem.Physical, dev *nvm.Device,
 		CtrCache:    cc,
 		CoWCache:    cowCache,
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
-		initialised: make(map[uint64]bool),
+		initialised: bitset.New(pages),
 		cowTable:    make(map[uint64]uint64),
-		written:     make(map[uint64]bool),
-		tracked:     make(map[uint64]bool),
+		written:     bitset.New(lines),
+		tracked:     bitset.New(pages),
 		footprint:   make(map[uint64]uint64),
 	}
 }
@@ -289,13 +297,13 @@ func (e *Engine) freshBlock() ctr.Block {
 // ensureInit installs a page's boot-time counter block in NVM. This models
 // machine-reset state and is free of simulated time and traffic.
 func (e *Engine) ensureInit(pfn uint64) {
-	if e.initialised[pfn] {
+	if e.initialised.Test(pfn) {
 		return
 	}
-	e.initialised[pfn] = true
+	e.initialised.Set(pfn)
 	b := e.freshBlock()
-	raw, err := b.Pack()
-	if err != nil {
+	var raw [ctr.BlockBytes]byte
+	if err := b.PackInto(&raw); err != nil {
 		panic("core: fresh block must pack: " + err.Error())
 	}
 	e.Phys.WriteLine(e.ctrAddr(pfn), &raw)
@@ -324,28 +332,33 @@ func (e *Engine) loadBlock(now, pfn uint64) (ctr.Block, uint64, error) {
 			return ctr.Block{}, done, err
 		}
 	}
-	blk, err := ctr.Unpack(raw, e.cfg.Scheme.Format())
-	if err != nil {
+	var blk ctr.Block
+	if err := ctr.UnpackInto(&raw, e.cfg.Scheme.Format(), &blk); err != nil {
 		return ctr.Block{}, done, err
 	}
-	e.installBlock(done, pfn, blk)
+	// The fill's victim write-back proceeds in the background: the demand
+	// read does not wait on it, so its completion time is not propagated.
+	_ = e.installBlock(done, pfn, blk)
 	return blk, done, nil
 }
 
 // installBlock places a (clean) block into the counter cache, writing back
-// any dirty victim.
-func (e *Engine) installBlock(now, pfn uint64, blk ctr.Block) {
+// any dirty victim. It returns the completion time of that write-back (now
+// if no victim needed one): callers on the store path must wait for the
+// eviction to retire before their own counter update is durable.
+func (e *Engine) installBlock(now, pfn uint64, blk ctr.Block) uint64 {
 	victim, needWB := e.CtrCache.Put(pfn, blk)
 	if needWB {
-		e.persistBlock(now, victim.Page, &victim.Blk)
+		return e.persistBlock(now, victim.Page, &victim.Blk)
 	}
+	return now
 }
 
 // persistBlock packs a counter block, refreshes the integrity tree and
 // writes it to the NVM metadata region.
 func (e *Engine) persistBlock(now, pfn uint64, blk *ctr.Block) uint64 {
-	raw, err := blk.Pack()
-	if err != nil {
+	var raw [ctr.BlockBytes]byte
+	if err := blk.PackInto(&raw); err != nil {
 		panic(fmt.Sprintf("core: cannot pack counter block for page %#x: %v", pfn, err))
 	}
 	addr := e.ctrAddr(pfn)
@@ -354,7 +367,7 @@ func (e *Engine) persistBlock(now, pfn uint64, blk *ctr.Block) uint64 {
 		e.Tree.Update(pfn, raw[:])
 	}
 	e.Stats.CtrWrites++
-	e.initialised[pfn] = true
+	e.initialised.Set(pfn)
 	return e.Mem.Write(now, addr)
 }
 
@@ -362,24 +375,33 @@ func (e *Engine) persistBlock(now, pfn uint64, blk *ctr.Block) uint64 {
 // and, depending on the cache mode, the block is written through or left
 // dirty for eviction-time write-back.
 func (e *Engine) storeBlock(now, pfn uint64, blk *ctr.Block) uint64 {
+	done := now
 	if cached := e.CtrCache.Get(pfn); cached != nil {
 		*cached = *blk
 	} else {
-		e.installBlock(now, pfn, *blk)
+		// A miss may evict a dirty victim; its write-back must complete
+		// before this store's counter update is durable, so the returned
+		// timestamp carries the eviction cost.
+		done = e.installBlock(now, pfn, *blk)
 	}
 	if e.CtrCache.MarkDirty(pfn) {
-		return e.persistBlock(now, pfn, blk)
+		return e.persistBlock(done, pfn, blk)
 	}
-	return now
+	return done
 }
 
 // DrainMetadata flushes dirty counter blocks (battery-backed write-back
-// drain at end of run) without advancing time.
+// drain at end of run) without advancing time. It also forces the lazily
+// maintained Merkle root current, so the persisted metadata image is
+// crash-consistent with the root the verifier would recompute.
 func (e *Engine) DrainMetadata() {
 	e.CtrCache.DrainDirty(func(v ctrcache.Victim) {
 		blk := v.Blk
 		e.persistBlock(0, v.Page, &blk)
 	})
+	if !e.cfg.NonSecure && e.Tree != nil {
+		e.Tree.Root()
+	}
 }
 
 // ResetVolatile replaces the on-chip metadata caches with cold ones,
@@ -396,7 +418,7 @@ func (e *Engine) ResetVolatile(cc *ctrcache.Cache, cow *ctrcache.CoWCache) {
 
 // Track enables per-line access footprint recording for a page (Fig 10c/d).
 func (e *Engine) Track(pfn uint64) {
-	e.tracked[pfn] = true
+	e.tracked.Set(pfn)
 }
 
 // Footprint returns the bitmask of lines touched on a tracked page.
@@ -406,7 +428,7 @@ func (e *Engine) Footprint(pfn uint64) uint64 { return e.footprint[pfn] }
 func (e *Engine) Footprints() map[uint64]uint64 { return e.footprint }
 
 func (e *Engine) note(pfn uint64, line int) {
-	if e.tracked[pfn] {
+	if e.tracked.Test(pfn) {
 		e.footprint[pfn] |= 1 << uint(line)
 	}
 }
@@ -421,13 +443,12 @@ func (e *Engine) peekBlock(pfn uint64) (blk ctr.Block, ok bool) {
 	if cached := e.CtrCache.Peek(pfn); cached != nil {
 		return *cached, true
 	}
-	if !e.initialised[pfn] {
+	if !e.initialised.Test(pfn) {
 		return ctr.Block{}, false
 	}
 	var raw [ctr.BlockBytes]byte
 	e.Phys.ReadLine(e.ctrAddr(pfn), &raw)
-	blk, err := ctr.Unpack(raw, e.cfg.Scheme.Format())
-	if err != nil {
+	if err := ctr.UnpackInto(&raw, e.cfg.Scheme.Format(), &blk); err != nil {
 		return ctr.Block{}, false
 	}
 	return blk, true

@@ -27,8 +27,8 @@ func fingerprint(e *Engine) engineFingerprint {
 		cowMisses:   e.CoWCache.Misses,
 		devReads:    e.Dev.Reads,
 		devWrites:   e.Dev.Writes,
-		initialised: len(e.initialised),
-		written:     len(e.written),
+		initialised: e.initialised.Count(),
+		written:     e.written.Count(),
 	}
 }
 

@@ -116,8 +116,16 @@ func (b *Block) Validate() error {
 // differential-fuzz reference).
 func (b *Block) Pack() ([BlockBytes]byte, error) {
 	var raw [BlockBytes]byte
+	err := b.PackInto(&raw)
+	return raw, err
+}
+
+// PackInto serialises the block directly into the caller's buffer. The
+// persist path uses it with a stack buffer so packing a block moves no
+// memory beyond the 64 target bytes.
+func (b *Block) PackInto(raw *[BlockBytes]byte) error {
 	if err := b.Validate(); err != nil {
-		return raw, err
+		return err
 	}
 	switch b.Format {
 	case Classic:
@@ -136,12 +144,21 @@ func (b *Block) Pack() ([BlockBytes]byte, error) {
 			packLanes7(raw[8:64], &b.Minor)
 		}
 	}
-	return raw, nil
+	return nil
 }
 
 // Unpack decodes a 64-byte counter block stored in the given format.
 func Unpack(raw [BlockBytes]byte, f Format) (Block, error) {
-	b := Block{Format: f}
+	var b Block
+	err := UnpackInto(&raw, f, &b)
+	return b, err
+}
+
+// UnpackInto decodes into the caller's block, overwriting every field; the
+// hot path passes a stack- or cache-resident block so decoding allocates
+// and copies nothing.
+func UnpackInto(raw *[BlockBytes]byte, f Format, b *Block) error {
+	*b = Block{Format: f}
 	switch f {
 	case Classic:
 		b.Major = binary.LittleEndian.Uint64(raw[0:8])
@@ -157,9 +174,9 @@ func Unpack(raw [BlockBytes]byte, f Format) (Block, error) {
 			unpackLanes7(raw[8:64], &b.Minor)
 		}
 	default:
-		return b, fmt.Errorf("ctr: unknown format %v", f)
+		return fmt.Errorf("ctr: unknown format %v", f)
 	}
-	return b, nil
+	return nil
 }
 
 // packLanes7 stores the 64 seven-bit minors into 56 bytes, one 56-bit

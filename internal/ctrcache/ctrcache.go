@@ -37,6 +37,7 @@ type entry struct {
 // Cache caches decoded counter blocks keyed by page frame number.
 type Cache struct {
 	sets    uint64
+	setMask uint64 // sets-1 when sets is a power of two, else 0
 	ways    int
 	mode    Mode
 	entries []entry
@@ -52,20 +53,29 @@ func New(sizeBytes uint64, ways int, mode Mode, latencyNs uint64) *Cache {
 	if sets == 0 {
 		sets = 1
 	}
-	return &Cache{
+	c := &Cache{
 		sets:      sets,
 		ways:      ways,
 		mode:      mode,
 		entries:   make([]entry, sets*uint64(ways)),
 		LatencyNs: latencyNs,
 	}
+	if sets&(sets-1) == 0 {
+		c.setMask = sets - 1 // AND instead of a division on every probe
+	}
+	return c
 }
 
 // Mode returns the write strategy.
 func (c *Cache) Mode() Mode { return c.mode }
 
 func (c *Cache) set(page uint64) []entry {
-	s := page % c.sets
+	var s uint64
+	if c.setMask != 0 {
+		s = page & c.setMask
+	} else {
+		s = page % c.sets
+	}
 	return c.entries[s*uint64(c.ways) : (s+1)*uint64(c.ways)]
 }
 
@@ -194,19 +204,24 @@ func (c *Cache) MissRate() float64 {
 
 // CoWCache is the reserved slice of the counter cache that holds
 // supplementary CoW mappings (destination page -> source page) for
-// Lelantus-CoW. Eight 8 B mappings share one 64 B slot.
+// Lelantus-CoW. Eight 8 B mappings share one 64 B slot. Fully associative
+// with LRU replacement, implemented as a key→slot map plus an intrusive
+// recency list so lookup, insert and eviction are all O(1) — the naive
+// scan-for-LRU eviction dominated whole Lelantus-CoW runs.
 type CoWCache struct {
-	capacity int
-	tick     uint64
-	ents     map[uint64]*cowEntry
+	ents       []cowEntry
+	idx        map[uint64]int32
+	head, tail int32 // most/least recently used, -1 when empty
+	free       []int32
 
 	Hits, Misses uint64
 }
 
 type cowEntry struct {
-	src     uint64
-	present bool // false caches a negative result ("no source mapping")
-	tick    uint64
+	dst        uint64
+	src        uint64
+	present    bool // false caches a negative result ("no source mapping")
+	prev, next int32
 }
 
 // NewCoW creates a CoW-mapping cache backed by sizeBytes of counter-cache
@@ -216,17 +231,55 @@ func NewCoW(sizeBytes uint64) *CoWCache {
 	if capacity < 1 {
 		capacity = 1
 	}
-	return &CoWCache{capacity: capacity, ents: make(map[uint64]*cowEntry)}
+	c := &CoWCache{
+		ents: make([]cowEntry, capacity),
+		idx:  make(map[uint64]int32, capacity),
+		free: make([]int32, 0, capacity),
+		head: -1, tail: -1,
+	}
+	for i := capacity - 1; i >= 0; i-- {
+		c.free = append(c.free, int32(i))
+	}
+	return c
+}
+
+func (c *CoWCache) unlink(i int32) {
+	e := &c.ents[i]
+	if e.prev >= 0 {
+		c.ents[e.prev].next = e.next
+	} else {
+		c.head = e.next
+	}
+	if e.next >= 0 {
+		c.ents[e.next].prev = e.prev
+	} else {
+		c.tail = e.prev
+	}
+}
+
+func (c *CoWCache) pushFront(i int32) {
+	e := &c.ents[i]
+	e.prev, e.next = -1, c.head
+	if c.head >= 0 {
+		c.ents[c.head].prev = i
+	}
+	c.head = i
+	if c.tail < 0 {
+		c.tail = i
+	}
 }
 
 // Lookup returns the cached mapping state for a destination page: cached
 // reports whether the cache knows the answer at all, and present whether a
 // source mapping exists.
 func (c *CoWCache) Lookup(dst uint64) (src uint64, present, cached bool) {
-	c.tick++
-	if e, hit := c.ents[dst]; hit {
-		e.tick = c.tick
+	if i, hit := c.idx[dst]; hit {
+		if c.head != i {
+			c.unlink(i)
+			c.pushFront(i)
+		}
 		c.Hits++
+		e := &c.ents[i]
 		return e.src, e.present, true
 	}
 	c.Misses++
@@ -236,29 +289,38 @@ func (c *CoWCache) Lookup(dst uint64) (src uint64, present, cached bool) {
 // Insert caches a mapping (or, with present=false, its absence) fetched
 // from the NVM CoW-metadata region, evicting the LRU entry when full.
 func (c *CoWCache) Insert(dst, src uint64, present bool) {
-	c.tick++
-	if e, ok := c.ents[dst]; ok {
+	if i, ok := c.idx[dst]; ok {
+		e := &c.ents[i]
 		e.src = src
 		e.present = present
-		e.tick = c.tick
+		if c.head != i {
+			c.unlink(i)
+			c.pushFront(i)
+		}
 		return
 	}
-	if len(c.ents) >= c.capacity {
-		var lruKey uint64
-		lruTick := ^uint64(0)
-		for k, e := range c.ents {
-			if e.tick < lruTick {
-				lruTick = e.tick
-				lruKey = k
-			}
-		}
-		delete(c.ents, lruKey)
+	var slot int32
+	if n := len(c.free); n > 0 {
+		slot = c.free[n-1]
+		c.free = c.free[:n-1]
+	} else {
+		slot = c.tail
+		c.unlink(slot)
+		delete(c.idx, c.ents[slot].dst)
 	}
-	c.ents[dst] = &cowEntry{src: src, present: present, tick: c.tick}
+	c.ents[slot] = cowEntry{dst: dst, src: src, present: present}
+	c.pushFront(slot)
+	c.idx[dst] = slot
 }
 
 // Drop removes a mapping (page_phyc / page_free).
-func (c *CoWCache) Drop(dst uint64) { delete(c.ents, dst) }
+func (c *CoWCache) Drop(dst uint64) {
+	if i, ok := c.idx[dst]; ok {
+		c.unlink(i)
+		delete(c.idx, dst)
+		c.free = append(c.free, i)
+	}
+}
 
 // MissRate returns the fraction of lookups that missed (Fig. 10b).
 func (c *CoWCache) MissRate() float64 {

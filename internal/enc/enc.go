@@ -28,13 +28,41 @@ const LineBytes = 64
 // padBlocks is the number of 16-byte AES blocks per line pad.
 const padBlocks = LineBytes / aes.BlockSize
 
+// tweakSlots sizes the direct-mapped tweak cache (a power of two, indexed
+// by the line number's low bits). 256 entries cover the simulator's working
+// sets well while costing ~10 KB per engine.
+const tweakSlots = 256
+
+// tweakEntry caches the first-stage AES output for one (lineNo, major)
+// pair. The tweak is a pure function of that pair, so entries never need
+// invalidation — a new major for the same line simply overwrites the slot.
+type tweakEntry struct {
+	lineNo uint64
+	major  uint64
+	valid  bool
+	tweak  [aes.BlockSize]byte
+}
+
 // Engine generates one-time pads and applies them to cachelines.
+// Not safe for concurrent use: the tweak cache and the scratch blocks are
+// single-threaded state (each simulated machine owns its engine).
 type Engine struct {
 	block cipher.Block
 	// Pads counts pad generations (one per line encryption/decryption),
 	// used by the timing model (24-cycle AES latency, overlapped with the
-	// data fetch).
+	// data fetch). It counts logical pad generations: a tweak-cache hit
+	// still increments it, the timing model is unchanged.
 	Pads uint64
+
+	// tweaks caches the (lineNo ‖ major) AES stage: repeated pads on the
+	// same line (read-modify-write traffic, minor-counter advances,
+	// re-encryption sweeps) cost 4 AES invocations instead of 5.
+	tweaks [tweakSlots]tweakEntry
+
+	// in/pad are scratch blocks handed to the cipher.Block interface, kept
+	// in the struct so pad generation does not allocate.
+	in  [aes.BlockSize]byte
+	pad [LineBytes]byte
 }
 
 // New creates an engine keyed with the given 16-byte AES-128 key.
@@ -53,20 +81,22 @@ func New(key []byte) (*Engine, error) {
 // physical line number (byte address >> 6) and its encryption counter.
 func (e *Engine) Pad(lineNo uint64, major uint64, minor uint8) [LineBytes]byte {
 	e.Pads++
-	var tweak [aes.BlockSize]byte
-	binary.LittleEndian.PutUint64(tweak[0:8], lineNo)
-	binary.LittleEndian.PutUint64(tweak[8:16], major)
-	e.block.Encrypt(tweak[:], tweak[:])
-
-	var pad [LineBytes]byte
-	var in [aes.BlockSize]byte
-	for i := 0; i < padBlocks; i++ {
-		copy(in[:], tweak[:])
-		in[0] ^= minor
-		in[1] ^= byte(i)
-		e.block.Encrypt(pad[i*aes.BlockSize:(i+1)*aes.BlockSize], in[:])
+	slot := &e.tweaks[lineNo%tweakSlots]
+	if !slot.valid || slot.lineNo != lineNo || slot.major != major {
+		e.in = [aes.BlockSize]byte{}
+		binary.LittleEndian.PutUint64(e.in[0:8], lineNo)
+		binary.LittleEndian.PutUint64(e.in[8:16], major)
+		e.block.Encrypt(slot.tweak[:], e.in[:])
+		slot.lineNo, slot.major, slot.valid = lineNo, major, true
 	}
-	return pad
+
+	for i := 0; i < padBlocks; i++ {
+		e.in = slot.tweak
+		e.in[0] ^= minor
+		e.in[1] ^= byte(i)
+		e.block.Encrypt(e.pad[i*aes.BlockSize:(i+1)*aes.BlockSize], e.in[:])
+	}
+	return e.pad
 }
 
 // Crypt XORs src with the pad for (lineNo, major, minor) into dst.

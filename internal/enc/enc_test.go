@@ -142,3 +142,39 @@ func TestDifferentKeysDiffer(t *testing.T) {
 		t.Fatal("two keys produced the same pad")
 	}
 }
+
+// TestTweakCacheDifferential: an engine whose tweak cache is exercised
+// hard (same-line repeats, slot-colliding lines, major-epoch changes) must
+// produce exactly the pads of a fresh engine computing each tweak cold.
+func TestTweakCacheDifferential(t *testing.T) {
+	warm := newEngine(t)
+	rng := rand.New(rand.NewSource(23))
+	// Lines 5, 5+tweakSlots, 5+2*tweakSlots all collide on one slot.
+	lines := []uint64{5, 5 + tweakSlots, 5 + 2*tweakSlots, 77, 1 << 30}
+	for i := 0; i < 3000; i++ {
+		line := lines[rng.Intn(len(lines))]
+		major := uint64(rng.Intn(3))
+		minor := uint8(rng.Intn(128))
+		got := warm.Pad(line, major, minor)
+		want := newEngine(t).Pad(line, major, minor)
+		if got != want {
+			t.Fatalf("iteration %d: cached pad differs for (line=%d major=%d minor=%d)",
+				i, line, major, minor)
+		}
+	}
+}
+
+// TestPadAllocFree: steady-state pad generation and line crypts must not
+// allocate (the scratch blocks live in the engine).
+func TestPadAllocFree(t *testing.T) {
+	e := newEngine(t)
+	var plain, out [LineBytes]byte
+	e.Crypt(&out, &plain, 3, 1, 1)
+	avg := testing.AllocsPerRun(500, func() {
+		e.Crypt(&out, &plain, 3, 1, 1)
+		e.Crypt(&out, &plain, 4, 1, 2) // tweak-cache miss path too
+	})
+	if avg != 0 {
+		t.Fatalf("Crypt allocates %.2f allocs/op, want 0", avg)
+	}
+}

@@ -35,6 +35,7 @@ func (k *Kernel) usesCommands() bool {
 // copies of former sharers are materialised (early reclamation of the
 // source page, Section III-D).
 func (k *Kernel) wpFault(now uint64, p *Process, vma *VMA, pte *PTE, va uint64) (uint64, error) {
+	k.bumpGen()
 	start := now
 	now += k.cfg.FaultNs
 	defer func() { k.Stats.FaultNs += now - start }()

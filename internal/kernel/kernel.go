@@ -131,6 +131,19 @@ type Kernel struct {
 	zeroPFN     uint64
 	hugeZeroPFN uint64
 
+	// One-entry translation cache: scripted accesses walk lines
+	// sequentially, so consecutive translations overwhelmingly resolve to
+	// the same (process, VMA, PTE) triple. gen invalidates it wholesale —
+	// every mapping mutation (mmap/munmap/fork/exit/fault/KSM/...) bumps
+	// gen, so a stale pointer can never be returned.
+	gen    uint64
+	tcGen  uint64
+	tcPid  Pid
+	tcPage uint64
+	tcP    *Process
+	tcVMA  *VMA
+	tcPTE  *PTE
+
 	retiredTLBWalks uint64
 
 	Stats Stats
@@ -178,6 +191,7 @@ func (k *Kernel) Allocator() *mem.Allocator { return k.alloc }
 
 // Spawn creates a fresh process with an empty address space.
 func (k *Kernel) Spawn() Pid {
+	k.bumpGen()
 	pid := k.nextPid
 	k.nextPid++
 	k.procs[pid] = &Process{
@@ -208,6 +222,7 @@ func (k *Kernel) isZeroFrame(pfn uint64, huge bool) bool {
 // to each unit triggers the demand-zero CoW fault, exactly the libc
 // malloc/mmap behaviour described in Section II-C.
 func (k *Kernel) Mmap(now uint64, pid Pid, bytes uint64, huge bool) (vaddr, done uint64, err error) {
+	k.bumpGen()
 	p := k.procs[pid]
 	if p == nil {
 		return 0, now, fmt.Errorf("kernel: mmap by dead pid %d", pid)
@@ -250,7 +265,16 @@ func (p *Process) vmaOf(va uint64) *VMA {
 }
 
 // translate returns the VMA and PTE covering the address.
+// bumpGen invalidates the translation cache; every mutation of address
+// spaces, PTEs or process lifetime must call it (the mutating entry points
+// and the write-protect fault do).
+func (k *Kernel) bumpGen() { k.gen++ }
+
 func (k *Kernel) translate(pid Pid, va uint64) (*Process, *VMA, *PTE, error) {
+	page := va >> mem.PageShift
+	if k.tcGen == k.gen && k.tcPid == pid && k.tcPage == page && k.tcP != nil {
+		return k.tcP, k.tcVMA, k.tcPTE, nil
+	}
 	p := k.procs[pid]
 	if p == nil {
 		return nil, nil, nil, fmt.Errorf("kernel: access by dead pid %d", pid)
@@ -268,6 +292,8 @@ func (k *Kernel) translate(pid Pid, va uint64) (*Process, *VMA, *PTE, error) {
 	if pte == nil {
 		return nil, nil, nil, fmt.Errorf("kernel: segfault pid %d vaddr %#x (no PTE)", pid, va)
 	}
+	k.tcGen, k.tcPid, k.tcPage = k.gen, pid, page
+	k.tcP, k.tcVMA, k.tcPTE = p, vma, pte
 	return p, vma, pte, nil
 }
 

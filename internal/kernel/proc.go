@@ -14,6 +14,7 @@ import (
 // the pages' dirty cache lines before write-protecting them (Section
 // IV-B), so the metadata-level copy observes current data.
 func (k *Kernel) Fork(now uint64, parent Pid) (Pid, uint64, error) {
+	k.bumpGen()
 	p := k.procs[parent]
 	if p == nil {
 		return 0, now, fmt.Errorf("kernel: fork by dead pid %d", parent)
@@ -84,6 +85,7 @@ func (k *Kernel) Fork(now uint64, parent Pid) (Pid, uint64, error) {
 // mapping disappears are released (running early-reclamation and
 // page_free protocols), and the process leaves its anon groups.
 func (k *Kernel) Exit(now uint64, pid Pid) (uint64, error) {
+	k.bumpGen()
 	p := k.procs[pid]
 	if p == nil {
 		return now, fmt.Errorf("kernel: exit of dead pid %d", pid)
@@ -123,6 +125,7 @@ func (k *Kernel) Exit(now uint64, pid Pid) (uint64, error) {
 
 // Munmap removes an existing mapping range (unit-aligned).
 func (k *Kernel) Munmap(now uint64, pid Pid, vaddr, bytes uint64) (uint64, error) {
+	k.bumpGen()
 	p := k.procs[pid]
 	if p == nil {
 		return now, fmt.Errorf("kernel: munmap by dead pid %d", pid)
@@ -173,6 +176,7 @@ func (k *Kernel) Munmap(now uint64, pid Pid, vaddr, bytes uint64) (uint64, error
 // duplicates are released. The stable frame records every mapping site as
 // its reverse map. Returns the number of sites merged away.
 func (k *Kernel) KSMMerge(now uint64, refs []PageRef) (int, uint64, error) {
+	k.bumpGen()
 	if len(refs) < 2 {
 		return 0, now, nil
 	}
@@ -250,6 +254,7 @@ func (k *Kernel) KSMMerge(now uint64, refs []PageRef) (int, uint64, error) {
 // the Lelantus schemes the released frames go through the page_free
 // protocol like any other free.
 func (k *Kernel) MadviseDontNeed(now uint64, pid Pid, vaddr, bytes uint64) (uint64, error) {
+	k.bumpGen()
 	p := k.procs[pid]
 	if p == nil {
 		return now, fmt.Errorf("kernel: madvise by dead pid %d", pid)
@@ -300,6 +305,7 @@ func (k *Kernel) MadviseDontNeed(now uint64, pid Pid, vaddr, bytes uint64) (uint
 // mprotect(PROT_WRITE) marks the VMA and the fault handler sorts out
 // sharing.
 func (k *Kernel) Mprotect(now uint64, pid Pid, vaddr, bytes uint64, writable bool) (uint64, error) {
+	k.bumpGen()
 	p := k.procs[pid]
 	if p == nil {
 		return now, fmt.Errorf("kernel: mprotect by dead pid %d", pid)

@@ -39,25 +39,43 @@ func LineAddr(pfn uint64, i int) uint64 {
 	return pfn<<PageShift | uint64(i)<<LineShift
 }
 
-// Physical is the sparse byte store for the NVM address space.
+// Physical is the sparse byte store for the NVM address space: a dense
+// frame table (one pointer per 4 KB frame, sized from the capacity) whose
+// frames materialise on first write. The table makes the per-line
+// ReadLine/WriteLine lookup an array index — these sit under every simulated
+// memory access, where a map probe is measurable.
 type Physical struct {
-	frames map[uint64]*[PageBytes]byte
-	size   uint64
+	frames   []*[PageBytes]byte
+	resident int
+	size     uint64
 }
 
 // NewPhysical creates a physical space of the given byte capacity.
 func NewPhysical(size uint64) *Physical {
-	return &Physical{frames: make(map[uint64]*[PageBytes]byte), size: size}
+	return &Physical{
+		frames: make([]*[PageBytes]byte, (size+PageBytes-1)/PageBytes),
+		size:   size,
+	}
 }
 
 // Size returns the capacity in bytes.
 func (p *Physical) Size() uint64 { return p.size }
 
 func (p *Physical) frame(pfn uint64, create bool) *[PageBytes]byte {
-	f, ok := p.frames[pfn]
-	if !ok && create {
+	if pfn >= uint64(len(p.frames)) {
+		if !create {
+			return nil
+		}
+		// Beyond the declared capacity (stray test geometries): grow.
+		grown := make([]*[PageBytes]byte, pfn+1)
+		copy(grown, p.frames)
+		p.frames = grown
+	}
+	f := p.frames[pfn]
+	if f == nil && create {
 		f = new([PageBytes]byte)
 		p.frames[pfn] = f
+		p.resident++
 	}
 	return f
 }
@@ -124,7 +142,7 @@ func (p *Physical) ZeroPage(pfn uint64) {
 }
 
 // ResidentFrames reports how many frames are materialised (test/debug aid).
-func (p *Physical) ResidentFrames() int { return len(p.frames) }
+func (p *Physical) ResidentFrames() int { return p.resident }
 
 // ErrOutOfMemory is returned when the allocator's frame pool is exhausted.
 var ErrOutOfMemory = errors.New("mem: out of physical frames")

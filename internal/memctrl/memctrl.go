@@ -168,12 +168,10 @@ func (c *Controller) Load(now, addr uint64) ([mem.LineBytes]byte, uint64, error)
 	c.CPUReads++
 	c.count()
 	line := addr &^ (mem.LineBytes - 1)
-	lat, miss := c.Caches.Access(line, false)
+	lat, d, miss := c.Caches.AccessData(line, false)
 	done := now + lat
-	if !miss {
-		if d := c.Caches.Data(line); d != nil {
-			return *d, done, nil
-		}
+	if !miss && d != nil {
+		return *d, done, nil
 	}
 	plain, t, err := c.Engine.ReadLine(done, line)
 	if err != nil {
@@ -197,7 +195,7 @@ func (c *Controller) Store(now, addr uint64, data []byte) (uint64, error) {
 	if int(off)+len(data) > mem.LineBytes {
 		return now, fmt.Errorf("memctrl: store at %#x crosses a line boundary", addr)
 	}
-	lat, miss := c.Caches.Access(line, true)
+	lat, d, miss := c.Caches.AccessData(line, true)
 	done := now + lat
 	if miss {
 		var plain [mem.LineBytes]byte
@@ -221,13 +219,12 @@ func (c *Controller) Store(now, addr uint64, data []byte) (uint64, error) {
 		}
 		return done, nil
 	}
-	d := c.Caches.Data(line)
 	if d == nil {
 		// Tag-only hit race cannot happen in this single-threaded model.
 		return done, fmt.Errorf("memctrl: cached line %#x has no data", line)
 	}
+	// AccessData already marked the line dirty and refreshed its recency.
 	copy(d[off:], data)
-	c.Caches.MarkDirty(line)
 	return done, nil
 }
 

@@ -152,7 +152,10 @@ func (m *Machine) Run(s workload.Script) (Result, error) {
 	begin := m.snap()
 	var end *snapshot
 	var err error
-	for idx, op := range s.Ops {
+	for idx := range s.Ops {
+		// Iterate by pointer: Op is a large value struct and this loop runs
+		// once per scripted operation.
+		op := &s.Ops[idx]
 		opStart := m.now
 		switch op.Kind {
 		case workload.OpSpawn:
@@ -269,7 +272,7 @@ func (m *Machine) Run(s workload.Script) (Result, error) {
 // line — or straddling a line boundary — are split into per-line kernel
 // requests, so every scripted byte is transferred (no silent truncation).
 // A non-positive size degenerates to a single byte.
-func (m *Machine) access(now uint64, op workload.Op) (uint64, error) {
+func (m *Machine) access(now uint64, op *workload.Op) (uint64, error) {
 	size := op.Size
 	if size <= 0 {
 		size = 1

@@ -28,62 +28,119 @@ func DefaultConfig() Config {
 }
 
 type entry struct {
-	key   uint64 // (vpn << 1) | hugeBit
-	valid bool
-	tick  uint64
+	key        uint64 // (vpn << 1) | hugeBit
+	prev, next int32  // intrusive LRU list (MRU at head, LRU at tail)
 }
 
+// level is a fully associative translation cache with LRU replacement:
+// TLB reach, not associativity conflicts, is what matters at this
+// fidelity. Full associativity is modelled exactly but implemented as a
+// key→slot map plus an intrusive recency list, so lookup, insert and
+// invalidate are O(1) — the L2 TLB has 1536 entries and sits under every
+// L1 miss, where a linear scan is the simulator's single hottest loop.
 type level struct {
 	ways []entry
-	tick uint64
+	idx  map[uint64]int32
+	head int32 // most recently used, -1 when empty
+	tail int32 // least recently used, -1 when empty
+	free []int32
 }
 
 func newLevel(entries int) *level {
 	if entries < 1 {
 		entries = 1
 	}
-	return &level{ways: make([]entry, entries)}
+	l := &level{
+		ways: make([]entry, entries),
+		idx:  make(map[uint64]int32, entries),
+		free: make([]int32, 0, entries),
+		head: -1, tail: -1,
+	}
+	for i := entries - 1; i >= 0; i-- {
+		l.free = append(l.free, int32(i))
+	}
+	return l
 }
 
-// lookup is fully associative with LRU replacement: TLB reach, not
-// associativity conflicts, is what matters at this fidelity.
-func (l *level) lookup(key uint64) bool {
-	l.tick++
-	for i := range l.ways {
-		if l.ways[i].valid && l.ways[i].key == key {
-			l.ways[i].tick = l.tick
-			return true
-		}
+func (l *level) unlink(i int32) {
+	e := &l.ways[i]
+	if e.prev >= 0 {
+		l.ways[e.prev].next = e.next
+	} else {
+		l.head = e.next
 	}
-	return false
+	if e.next >= 0 {
+		l.ways[e.next].prev = e.prev
+	} else {
+		l.tail = e.prev
+	}
+}
+
+func (l *level) pushFront(i int32) {
+	e := &l.ways[i]
+	e.prev, e.next = -1, l.head
+	if l.head >= 0 {
+		l.ways[l.head].prev = i
+	}
+	l.head = i
+	if l.tail < 0 {
+		l.tail = i
+	}
+}
+
+func (l *level) lookup(key uint64) bool {
+	// MRU fast path: line-sequential access streams re-translate the same
+	// page, so most lookups hit the head without touching the map.
+	if l.head >= 0 && l.ways[l.head].key == key {
+		return true
+	}
+	i, ok := l.idx[key]
+	if !ok {
+		return false
+	}
+	if l.head != i {
+		l.unlink(i)
+		l.pushFront(i)
+	}
+	return true
 }
 
 func (l *level) insert(key uint64) {
-	l.tick++
-	pick := 0
-	for i := range l.ways {
-		if !l.ways[i].valid {
-			pick = i
-			break
+	if i, ok := l.idx[key]; ok {
+		if l.head != i {
+			l.unlink(i)
+			l.pushFront(i)
 		}
-		if l.ways[i].tick < l.ways[pick].tick {
-			pick = i
-		}
+		return
 	}
-	l.ways[pick] = entry{key: key, valid: true, tick: l.tick}
+	var slot int32
+	if n := len(l.free); n > 0 {
+		slot = l.free[n-1]
+		l.free = l.free[:n-1]
+	} else {
+		slot = l.tail
+		l.unlink(slot)
+		delete(l.idx, l.ways[slot].key)
+	}
+	l.ways[slot].key = key
+	l.pushFront(slot)
+	l.idx[key] = slot
 }
 
 func (l *level) invalidate(key uint64) {
-	for i := range l.ways {
-		if l.ways[i].valid && l.ways[i].key == key {
-			l.ways[i] = entry{}
-		}
+	if i, ok := l.idx[key]; ok {
+		l.unlink(i)
+		delete(l.idx, key)
+		l.free = append(l.free, i)
 	}
 }
 
 func (l *level) flushAll() {
-	for i := range l.ways {
-		l.ways[i] = entry{}
+	clear(l.idx)
+	l.head, l.tail = -1, -1
+	l.free = l.free[:0]
+	for i := len(l.ways) - 1; i >= 0; i-- {
+		l.free = append(l.free, int32(i))
 	}
 }
 
