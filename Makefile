@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json verify
+.PHONY: all build vet test race bench bench-json bench-json-timing verify
 
 all: verify
 
@@ -35,5 +35,17 @@ bench-json:
 	      -benchmem -benchtime 0.2s . ; \
 	  $(GO) test -run '^$$' -bench '^BenchmarkFig9$$' -benchtime 2x . ; } \
 	  | $(GO) run ./cmd/benchjson > BENCH_hotpath.json
+
+# bench-json-timing runs the same benchmarks with the crypto data plane
+# elided (timing fidelity) into BENCH_timing.json; the benchmark names
+# match bench-json's, so `go run ./cmd/benchjson -compare BENCH_hotpath.json
+# BENCH_timing.json` prints the per-cell speedup of the fidelity knob.
+bench-json-timing:
+	{ LELANTUS_FIDELITY=timing $(GO) test -run '^$$' \
+	      -bench '^(BenchmarkReadLine|BenchmarkWriteLine)$$' \
+	      -benchmem -benchtime 0.2s . ; \
+	  LELANTUS_FIDELITY=timing $(GO) test -run '^$$' \
+	      -bench '^BenchmarkFig9$$' -benchtime 2x . ; } \
+	  | $(GO) run ./cmd/benchjson > BENCH_timing.json
 
 verify: build vet test race

@@ -7,6 +7,7 @@ package lelantus
 
 import (
 	"fmt"
+	"os"
 	"testing"
 
 	"lelantus/internal/core"
@@ -15,10 +16,23 @@ import (
 	"lelantus/internal/workload"
 )
 
+// benchFidelity selects the machine fidelity for every benchmark from the
+// LELANTUS_FIDELITY environment variable ("timing" elides the crypto data
+// plane; anything else is the full path). `make bench-json-timing` sets it
+// so BENCH_timing.json carries the same benchmark names as the full-path
+// BENCH_hotpath.json and `benchjson -compare` lines them up.
+func benchFidelity() core.Fidelity {
+	if os.Getenv("LELANTUS_FIDELITY") == "timing" {
+		return core.FidelityTiming
+	}
+	return core.FidelityFull
+}
+
 func quickOpts() experiments.Options {
 	o := experiments.DefaultOptions()
 	o.Quick = true
 	o.MemBytes = 256 << 20
+	o.Fidelity = benchFidelity()
 	return o
 }
 
@@ -62,6 +76,7 @@ func BenchmarkFig9(b *testing.B) {
 					for i := 0; i < b.N; i++ {
 						cfg := sim.DefaultConfig(s)
 						cfg.Mem.MemBytes = o.MemBytes
+						cfg.Mem.Core.Fidelity = o.Fidelity
 						res, err := sim.RunWith(cfg, script)
 						if err != nil {
 							b.Fatal(err)
@@ -118,6 +133,7 @@ func BenchmarkGridRun(b *testing.B) {
 		for _, s := range core.Schemes() {
 			cfg := sim.DefaultConfig(s)
 			cfg.Mem.MemBytes = o.MemBytes
+			cfg.Mem.Core.Fidelity = o.Fidelity
 			jobs = append(jobs, sim.GridJob{
 				Tag:    spec.Name + "/" + s.String(),
 				Config: cfg,
@@ -144,6 +160,7 @@ func benchEngine(b *testing.B, s core.Scheme) (*core.Engine, []uint64) {
 	b.Helper()
 	cfg := sim.DefaultConfig(s)
 	cfg.Mem.MemBytes = 64 << 20
+	cfg.Mem.Core.Fidelity = benchFidelity()
 	m, err := sim.NewMachine(cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -210,6 +227,7 @@ func BenchmarkPageCopyCommand(b *testing.B) {
 	b.Run("page_copy", func(b *testing.B) {
 		cfg := sim.DefaultConfig(core.Lelantus)
 		cfg.Mem.MemBytes = 64 << 20
+		cfg.Mem.Core.Fidelity = benchFidelity()
 		m, err := sim.NewMachine(cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -228,6 +246,7 @@ func BenchmarkPageCopyCommand(b *testing.B) {
 	b.Run("full_copy", func(b *testing.B) {
 		cfg := sim.DefaultConfig(core.Baseline)
 		cfg.Mem.MemBytes = 64 << 20
+		cfg.Mem.Core.Fidelity = benchFidelity()
 		m, err := sim.NewMachine(cfg)
 		if err != nil {
 			b.Fatal(err)

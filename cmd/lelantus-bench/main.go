@@ -6,8 +6,12 @@
 //	lelantus-bench -exp fig9-4KB   # run one experiment
 //	lelantus-bench -quick          # reduced sizes (seconds, not minutes)
 //	lelantus-bench -parallel 8     # fan independent runs over 8 workers
+//	lelantus-bench -fidelity full  # force the full crypto data plane
 //	lelantus-bench -json           # machine-readable report output
 //	lelantus-bench -list           # list experiment identifiers
+//
+// Reports are byte-identical at either fidelity; "-fidelity auto" (the
+// default) picks timing for the full "-exp all" grid and full otherwise.
 package main
 
 import (
@@ -15,18 +19,30 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"lelantus"
 	"lelantus/internal/experiments"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the whole program so the profile-flushing defers execute on
+// every exit path (os.Exit in main would skip them).
+func run() int {
 	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
 	quick := flag.Bool("quick", false, "use reduced workload sizes")
 	seed := flag.Int64("seed", 1, "workload generator seed")
 	memMB := flag.Uint64("mem", 512, "simulated NVM capacity in MiB")
 	parallel := flag.Int("parallel", 0, "worker pool for independent simulation runs (0 = all CPUs); reports are byte-identical at any setting")
+	fidelity := flag.String("fidelity", "auto", "full | timing | auto (timing for '-exp all', full otherwise); reports are byte-identical either way")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
 	markdown := flag.Bool("markdown", false, "emit markdown tables (EXPERIMENTS.md form)")
 	asJSON := flag.Bool("json", false, "emit reports as a JSON array")
@@ -34,7 +50,7 @@ func main() {
 
 	if *list {
 		fmt.Println(strings.Join(experiments.IDs(), "\n"))
-		return
+		return 0
 	}
 
 	o := experiments.DefaultOptions()
@@ -42,6 +58,49 @@ func main() {
 	o.Seed = *seed
 	o.MemBytes = *memMB << 20
 	o.Parallel = *parallel
+	switch *fidelity {
+	case "auto":
+		// The full grid is a bulk statistics run where the elided crypto
+		// cannot change a byte of output; single experiments stay on the
+		// full data plane by default.
+		if *exp == "all" {
+			o.Fidelity = lelantus.FidelityTiming
+		}
+	default:
+		f, err := lelantus.ParseFidelity(*fidelity)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lelantus-bench: %v\n", err)
+			return 2
+		}
+		o.Fidelity = f
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lelantus-bench: %v\n", err)
+			return 1
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "lelantus-bench: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lelantus-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "lelantus-bench: %v\n", err)
+			}
+		}()
+	}
 
 	start := time.Now()
 	var reports []*experiments.Report
@@ -79,9 +138,10 @@ func main() {
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "lelantus-bench: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	if !*asJSON {
 		fmt.Printf("completed in %.1fs (host time)\n", time.Since(start).Seconds())
 	}
+	return 0
 }

@@ -31,6 +31,7 @@ func main() {
 	huge := flag.Bool("huge", false, "use 2MB huge pages")
 	seed := flag.Int64("seed", 1, "workload generator seed")
 	memMB := flag.Uint64("mem", 512, "simulated NVM capacity in MiB")
+	fidelityName := flag.String("fidelity", "full", "full | timing (timing elides the crypto data plane; measurements are identical)")
 	compare := flag.Bool("compare", false, "also run the baseline and report speedup")
 	all := flag.Bool("all", false, "run the workload under every scheme and compare")
 	parallel := flag.Int("parallel", 0, "worker pool for -all (0 = all CPUs); output is identical at any setting")
@@ -49,6 +50,10 @@ func main() {
 	}
 
 	scheme, err := lelantus.ParseScheme(*schemeName)
+	if err != nil {
+		fail(err)
+	}
+	fidelity, err := lelantus.ParseFidelity(*fidelityName)
 	if err != nil {
 		fail(err)
 	}
@@ -88,12 +93,13 @@ func main() {
 		trace.Disassemble(os.Stdout, script, 40)
 	}
 	if *all {
-		runAll(script, *memMB, *parallel, *asJSON)
+		runAll(script, *memMB, fidelity, *parallel, *asJSON)
 		return
 	}
 
 	cfg := lelantus.DefaultConfig(scheme)
 	cfg.Mem.MemBytes = *memMB << 20
+	cfg.Mem.Core.Fidelity = fidelity
 
 	res, err := lelantus.RunWith(cfg, script)
 	if err != nil {
@@ -131,6 +137,7 @@ func main() {
 		base, err := lelantus.RunWith(func() lelantus.Config {
 			c := lelantus.DefaultConfig(lelantus.Baseline)
 			c.Mem.MemBytes = *memMB << 20
+			c.Mem.Core.Fidelity = fidelity
 			return c
 		}(), script)
 		if err != nil {
@@ -143,12 +150,13 @@ func main() {
 
 // runAll fans the script out over every scheme on a worker pool; the
 // Baseline row (always index 0) anchors the speedup and write columns.
-func runAll(script workload.Script, memMB uint64, parallel int, asJSON bool) {
+func runAll(script workload.Script, memMB uint64, fidelity lelantus.Fidelity, parallel int, asJSON bool) {
 	schemes := lelantus.Schemes()
 	jobs := make([]lelantus.GridJob, len(schemes))
 	for i, s := range schemes {
 		cfg := lelantus.DefaultConfig(s)
 		cfg.Mem.MemBytes = memMB << 20
+		cfg.Mem.Core.Fidelity = fidelity
 		jobs[i] = lelantus.GridJob{Tag: s.String(), Config: cfg, Script: script}
 	}
 	results, err := lelantus.RunGrid(jobs, parallel)

@@ -85,6 +85,11 @@ type Tree struct {
 
 	Updates  uint64
 	verifies uint64
+
+	// accountingOnly elides all hashing (timing-only fidelity): operation
+	// counters and the dirty-path bookkeeping stay exact, nodes are never
+	// computed or stored, and Verify always succeeds.
+	accountingOnly bool
 }
 
 // New creates a tree able to cover nBlocks counter blocks, keyed for HMAC.
@@ -109,6 +114,16 @@ func New(key []byte, nBlocks uint64) *Tree {
 	t.root = t.defaults[levels-1]
 	return t
 }
+
+// DisableHashing switches the tree to accounting-only mode, used by the
+// timing-only fidelity (core.FidelityTiming): Update and Verify keep
+// their operation counters and the leaf-to-root dirty-path bookkeeping —
+// the propagation work a flush would schedule is byte-identically
+// accounted — but no HMAC is ever computed and no node is stored.
+// Verification always succeeds, so this must never be used where
+// integrity results matter (the machine-wide fidelity knob guarantees
+// security-invariant tests run with hashing enabled).
+func (t *Tree) DisableHashing() { t.accountingOnly = true }
 
 // finish finalises the running MAC into the scratch buffer and returns it.
 func (t *Tree) finish() [hashSize]byte {
@@ -161,7 +176,9 @@ func (t *Tree) recomputeInner(level int, idx uint64) [hashSize]byte {
 // drain, neighbouring pages) share one propagation pass.
 func (t *Tree) Update(idx uint64, raw []byte) {
 	t.Updates++
-	t.nodes[0][idx] = t.leafHash(idx, raw)
+	if !t.accountingOnly {
+		t.nodes[0][idx] = t.leafHash(idx, raw)
+	}
 	t.pending = true
 	node := idx
 	for l := 1; l < t.levels; l++ {
@@ -183,12 +200,16 @@ func (t *Tree) flush() {
 		return
 	}
 	for l := 1; l < t.levels; l++ {
-		for node := range t.dirty[l] {
-			t.nodes[l][node] = t.recomputeInner(l, node)
+		if !t.accountingOnly {
+			for node := range t.dirty[l] {
+				t.nodes[l][node] = t.recomputeInner(l, node)
+			}
 		}
 		clear(t.dirty[l])
 	}
-	t.root = t.nodeHash(t.levels-1, 0)
+	if !t.accountingOnly {
+		t.root = t.nodeHash(t.levels-1, 0)
+	}
 	t.pending = false
 }
 
@@ -198,6 +219,9 @@ func (t *Tree) flush() {
 func (t *Tree) Verify(idx uint64, raw []byte) error {
 	t.verifies++
 	t.flush()
+	if t.accountingOnly {
+		return nil
+	}
 	h := t.leafHash(idx, raw)
 	node := idx
 	for l := 1; l < t.levels; l++ {

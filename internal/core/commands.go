@@ -165,10 +165,17 @@ func (e *Engine) PagePhyc(now, src, dst uint64) (done uint64, copied int, err er
 		blk.Minor[i] = 1
 		e.written.Set(lineNo)
 		var wt uint64
-		if e.cfg.NonSecure {
+		switch {
+		case e.cfg.NonSecure:
 			e.Phys.WriteLine(la, &plain)
 			wt = e.Mem.Write(rt, la)
-		} else {
+		case e.cfg.Fidelity == FidelityTiming:
+			// Timing fidelity: plaintext at rest, pad and MAC elided, the
+			// secure path's AES latency charge kept.
+			e.Enc.NotePad()
+			e.Phys.WriteLine(la, &plain)
+			wt = e.Mem.Write(rt+e.cfg.AESLatencyNs, la)
+		default:
 			ciph := e.Enc.Encrypt(&plain, lineNo, blk.Major, blk.Minor[i])
 			e.Phys.WriteLine(la, &ciph)
 			e.MACs.Update(lineNo, ciph[:], blk.Major, blk.Minor[i])

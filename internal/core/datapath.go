@@ -94,6 +94,13 @@ func (e *Engine) resolve(now, lineAddr uint64) ([mem.LineBytes]byte, uint64, err
 	}
 	// OTP generation overlaps the data fetch (paper Fig. 1).
 	done := maxU64(fetchDone, t+e.cfg.AESLatencyNs)
+	if e.cfg.Fidelity == FidelityTiming {
+		// Timing fidelity: the line is at rest as plaintext, so the fetch
+		// already produced the data; the pad and the MAC verification are
+		// elided while their latency charges stay identical to Full.
+		e.Enc.NotePad()
+		return ciph, done, nil
+	}
 	if err := e.MACs.Verify(lineNo, ciph[:], blk.Major, blk.Minor[i]); err != nil {
 		return zeroLine, done, err
 	}
@@ -185,6 +192,20 @@ func (e *Engine) WriteLine(now, lineAddr uint64, plain *[mem.LineBytes]byte) (ui
 		}
 		return dataDone, nil
 	}
+	if e.cfg.Fidelity == FidelityTiming {
+		// Timing fidelity: store the plaintext itself — the exact bytes
+		// must keep moving because content decides control flow elsewhere
+		// (Silent Shredder's zero elision above, KSM's page compare) —
+		// and skip the pad, the encryption XOR and the MAC. The device-
+		// visible operation order and every latency charge match the
+		// secure path below.
+		e.Enc.NotePad()
+		e.Phys.WriteLine(lineAddr, plain)
+		dataDone := e.Mem.Write(t+e.cfg.AESLatencyNs, lineAddr)
+		e.Stats.DataWrites++
+		ctrDone := e.storeBlock(t, pfn, &blk)
+		return maxU64(dataDone, ctrDone), nil
+	}
 	ciph := e.Enc.Encrypt(plain, lineNo, blk.Major, blk.Minor[li])
 	e.Phys.WriteLine(lineAddr, &ciph)
 	e.MACs.Update(lineNo, ciph[:], blk.Major, blk.Minor[li])
@@ -213,6 +234,22 @@ func (e *Engine) reencryptPage(now, pfn uint64, blk *ctr.Block, skipLine int) (u
 		if !e.written.Test(lineNo) {
 			// Randomly initialised counter with no resident data: the new
 			// epoch needs no data movement for this line.
+			continue
+		}
+		if e.cfg.Fidelity == FidelityTiming {
+			// Plaintext at rest is epoch-invariant: the sweep moves no
+			// bytes at all. Only the two pad generations per line and the
+			// read+write NVM traffic and latency of the full path remain.
+			rt := e.Mem.Read(now, la)
+			e.Stats.DataReads++
+			e.Enc.NotePad() // decrypt under the old epoch
+			e.Enc.NotePad() // encrypt under the new one
+			wt := e.Mem.Write(rt+e.cfg.AESLatencyNs, la)
+			e.Stats.DataWrites++
+			e.Stats.ReencryptedLines++
+			if wt > done {
+				done = wt
+			}
 			continue
 		}
 		var ciph [mem.LineBytes]byte

@@ -138,7 +138,13 @@ type Config struct {
 	// is stored in plaintext, pads are never generated, and neither data
 	// MACs nor the Merkle tree are maintained. Minor counters saturate at
 	// one — with no encryption epoch to version, overflow cannot happen.
+	// This is a *modelled machine* difference (it changes reported
+	// statistics); Fidelity is a *host-side* knob that never does.
 	NonSecure bool
+	// Fidelity selects whether the crypto data plane is computed (Full)
+	// or elided with identical timing and statistics (Timing). The zero
+	// value is FidelityFull. See the Fidelity type for the contract.
+	Fidelity Fidelity
 }
 
 // DefaultConfig returns the paper's parameters for a given scheme.

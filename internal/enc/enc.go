@@ -99,6 +99,12 @@ func (e *Engine) Pad(lineNo uint64, major uint64, minor uint8) [LineBytes]byte {
 	return e.pad
 }
 
+// NotePad records a logical pad generation without computing it. The
+// timing-only fidelity (core.FidelityTiming) calls it at every site where
+// the full data plane would generate a pad, so the Pads counter — and any
+// model built on it — is identical across fidelities.
+func (e *Engine) NotePad() { e.Pads++ }
+
 // Crypt XORs src with the pad for (lineNo, major, minor) into dst.
 // Counter-mode encryption and decryption are the same operation.
 func (e *Engine) Crypt(dst, src *[LineBytes]byte, lineNo uint64, major uint64, minor uint8) {

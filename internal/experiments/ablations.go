@@ -21,7 +21,7 @@ import (
 func AblationNonSecure(o Options) (*Report, error) {
 	t := stats.NewTable("Ablation — Lelantus on non-secure memory (Section III-G)",
 		"config", "exec-ms", "nvm-writes", "speedup-vs-own-baseline")
-	script := workload.Forkbench(o.forkbenchParams(false))
+	script := o.forkbenchScript(false)
 	modes := []bool{false, true}
 	var jobs []sim.GridJob
 	for _, nonSecure := range modes {
@@ -58,7 +58,7 @@ func AblationNonSecure(o Options) (*Report, error) {
 func AblationCoWCache(o Options) (*Report, error) {
 	t := stats.NewTable("Ablation — reserved CoW-metadata cache size (Lelantus-CoW)",
 		"reserve", "cow-miss-rate", "exec-ms", "nvm-writes")
-	script := workload.Redis(false, o.Seed)
+	script := o.namedScript("redis", false, workload.Redis)
 	sweep := []uint64{1, 4, 32, 128}
 	var jobs []sim.GridJob
 	for _, kb := range sweep {
@@ -90,7 +90,7 @@ func AblationCoWCache(o Options) (*Report, error) {
 func AblationCtrCache(o Options) (*Report, error) {
 	t := stats.NewTable("Ablation — counter cache size (Lelantus, redis)",
 		"size", "ctr-miss-rate", "exec-ms")
-	script := workload.Redis(false, o.Seed)
+	script := o.namedScript("redis", false, workload.Redis)
 	sweep := []uint64{32, 64, 256, 1024}
 	var jobs []sim.GridJob
 	for _, kb := range sweep {
@@ -170,7 +170,7 @@ func AblationTLB(o Options) (*Report, error) {
 func AblationWear(o Options) (*Report, error) {
 	t := stats.NewTable("Ablation — wear (hottest-line writes, forkbench)",
 		"scheme", "max-wear", "nvm-writes")
-	script := workload.Forkbench(o.forkbenchParams(false))
+	script := o.forkbenchScript(false)
 	var jobs []sim.GridJob
 	for _, s := range core.Schemes() {
 		jobs = append(jobs, o.job("wear/"+s.String(), s, script,
@@ -201,7 +201,7 @@ func UseCases(o Options) (*Report, error) {
 	schemes := core.Schemes()
 	var jobs []sim.GridJob
 	for _, spec := range specs {
-		script := spec.Build(false, o.Seed)
+		script := o.script(spec, false)
 		for _, s := range schemes {
 			jobs = append(jobs, o.job(fmt.Sprintf("usecase/%s/%v", spec.Name, s), s, script, nil))
 		}
@@ -239,7 +239,7 @@ func UseCases(o Options) (*Report, error) {
 func AblationWriteQueue(o Options) (*Report, error) {
 	t := stats.NewTable("Ablation — merging write queue (redis, write-through counters)",
 		"scheme", "queue", "device-writes", "merged", "exec-ms")
-	script := workload.Redis(false, o.Seed)
+	script := o.namedScript("redis", false, workload.Redis)
 	rowSchemes := []core.Scheme{core.Baseline, core.Lelantus}
 	queueModes := []bool{false, true}
 	merged := make([]uint64, len(rowSchemes)*len(queueModes))

@@ -34,11 +34,20 @@ type Options struct {
 	// isolated machine and results are consumed index-aligned, so reports
 	// are byte-identical at any worker count.
 	Parallel int
+	// Fidelity selects the machine fidelity for every run: FidelityFull
+	// (the zero value) computes the whole crypto data plane, FidelityTiming
+	// elides it with identical statistics. Reports are byte-identical under
+	// both (pinned by TestFidelityQuickGridEquivalence).
+	Fidelity core.Fidelity
+
+	// scripts interns generated workload scripts across the experiments of
+	// one option set (set by DefaultOptions; nil just disables sharing).
+	scripts *scriptCache
 }
 
 // DefaultOptions returns full-size experiment settings.
 func DefaultOptions() Options {
-	return Options{Seed: 1, MemBytes: 512 << 20}
+	return Options{Seed: 1, MemBytes: 512 << 20, scripts: newScriptCache()}
 }
 
 func (o Options) memBytes() uint64 {
@@ -80,6 +89,7 @@ func (r *Report) Markdown() string {
 func (o Options) machineConfig(scheme core.Scheme, mutate func(*sim.Config)) sim.Config {
 	cfg := sim.DefaultConfig(scheme)
 	cfg.Mem.MemBytes = o.memBytes()
+	cfg.Mem.Core.Fidelity = o.Fidelity
 	if mutate != nil {
 		mutate(&cfg)
 	}

@@ -80,14 +80,6 @@ func Fig2(o Options) (*Report, error) {
 	}, nil
 }
 
-// fig9Script builds one (workload, page-size) script of the catalogue.
-func (o Options) fig9Script(spec workload.Spec, huge bool) workload.Script {
-	if spec.Name == "forkbench" {
-		return workload.Forkbench(o.forkbenchParams(huge))
-	}
-	return spec.Build(huge, o.Seed)
-}
-
 // Fig9 reproduces the end-to-end comparison (Fig. 9a-9d): speedup over the
 // Baseline and NVM writes relative to the Baseline for Silent Shredder,
 // Lelantus and Lelantus-CoW across the benchmark catalogue. Each workload
@@ -107,7 +99,7 @@ func Fig9(o Options, huge bool) (*Report, error) {
 	stride := 1 + len(schemes)
 	var jobs []sim.GridJob
 	for _, spec := range specs {
-		script := o.fig9Script(spec, huge)
+		script := o.script(spec, huge)
 		jobs = append(jobs, o.job(
 			fmt.Sprintf("fig9-%s/%s/baseline", mode, spec.Name), core.Baseline, script, nil))
 		for _, s := range schemes {
@@ -180,8 +172,8 @@ func Fig10(o Options) (*Report, error) {
 		name   string
 		script workload.Script
 	}{
-		{"journal", workload.Journal(false, o.Seed)},
-		{"forkbench", workload.Forkbench(o.forkbenchParams(false))},
+		{"journal", o.namedScript("journal", false, workload.Journal)},
+		{"forkbench", o.forkbenchScript(false)},
 	}
 	for _, s := range overflowSchemes {
 		for _, wl := range overflowWLs {
@@ -198,7 +190,7 @@ func Fig10(o Options) (*Report, error) {
 		}
 		missSpecs = append(missSpecs, spec)
 		jobs = append(jobs, o.job(
-			"fig10/cow-miss/"+spec.Name, core.LelantusCoW, o.fig9Script(spec, false), nil))
+			"fig10/cow-miss/"+spec.Name, core.LelantusCoW, o.script(spec, false), nil))
 	}
 
 	// (c)/(d) Page access footprint of CoW destination pages. The mean
@@ -206,7 +198,7 @@ func Fig10(o Options) (*Report, error) {
 	// After hook harvests it into a per-job slot on the worker.
 	fpSchemes := []core.Scheme{core.Baseline, core.Lelantus}
 	fpMeans := make([]float64, len(fpSchemes))
-	fpScript := workload.Forkbench(o.forkbenchParams(false))
+	fpScript := o.forkbenchScript(false)
 	for i, s := range fpSchemes {
 		i := i
 		job := o.job("fig10/footprint/"+s.String(), s, fpScript, func(c *sim.Config) {
@@ -327,7 +319,7 @@ func Fig12(o Options) (*Report, error) {
 	modes := []ctrcache.Mode{ctrcache.WriteThrough, ctrcache.WriteBack}
 	var jobs []sim.GridJob
 	for _, pm := range pageModes() {
-		script := workload.Redis(pm.Huge, o.Seed)
+		script := o.namedScript("redis", pm.Huge, workload.Redis)
 		for _, mode := range modes {
 			mode := mode
 			mut := func(c *sim.Config) { c.Mem.CtrCacheMode = mode }

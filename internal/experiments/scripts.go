@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"lelantus/internal/workload"
+)
+
+// scriptCache interns generated workload scripts so each (workload,
+// page-mode, option-set) script is built once and shared read-only by every
+// scheme's grid cell. sim.Machine.Run treats scripts as immutable, so
+// sharing is safe even across the grid's worker pool; the win is avoiding
+// rebuilding multi-hundred-thousand-op scripts (the catalogue is rebuilt by
+// Fig9, Fig10 and TableV; Redis alone is built five times without the
+// cache).
+//
+// A nil *scriptCache is valid and simply builds every request: an Options
+// literal that skips DefaultOptions loses the sharing but nothing else.
+type scriptCache struct {
+	mu sync.Mutex
+	m  map[string]workload.Script
+}
+
+func newScriptCache() *scriptCache {
+	return &scriptCache{m: make(map[string]workload.Script)}
+}
+
+// intern returns the cached script for key, building and caching it on
+// first use. The build function must be deterministic in the key.
+func (c *scriptCache) intern(key string, build func() workload.Script) workload.Script {
+	if c == nil {
+		return build()
+	}
+	c.mu.Lock()
+	s, ok := c.m[key]
+	c.mu.Unlock()
+	if ok {
+		return s
+	}
+	// Build outside the lock: script generation is the expensive part and
+	// two concurrent first requests for the same key just agree on whichever
+	// lands second (builds are deterministic).
+	s = build()
+	c.mu.Lock()
+	if prev, ok := c.m[key]; ok {
+		s = prev
+	} else {
+		c.m[key] = s
+	}
+	c.mu.Unlock()
+	return s
+}
+
+// scriptKey identifies a generated script by everything its builder
+// consumes from the option set.
+func (o Options) scriptKey(name string, huge bool) string {
+	return fmt.Sprintf("%s|huge=%v|seed=%d|quick=%v", name, huge, o.Seed, o.Quick)
+}
+
+// namedScript interns a script produced by a (huge, seed) builder such as
+// workload.Journal or workload.Redis.
+func (o Options) namedScript(name string, huge bool, build func(bool, int64) workload.Script) workload.Script {
+	return o.scripts.intern(o.scriptKey(name, huge), func() workload.Script {
+		return build(huge, o.Seed)
+	})
+}
+
+// forkbenchScript interns the option-scaled default forkbench (the script
+// Fig10, the wear and non-secure ablations and — via script — the
+// catalogue's forkbench entry all share).
+func (o Options) forkbenchScript(huge bool) workload.Script {
+	return o.scripts.intern(o.scriptKey("forkbench", huge), func() workload.Script {
+		return workload.Forkbench(o.forkbenchParams(huge))
+	})
+}
+
+// script builds (or fetches) one catalogue/use-case script. The catalogue's
+// forkbench entry ignores Quick, so it is routed through forkbenchScript to
+// keep the option scaling and share the cache slot.
+func (o Options) script(spec workload.Spec, huge bool) workload.Script {
+	if spec.Name == "forkbench" {
+		return o.forkbenchScript(huge)
+	}
+	return o.scripts.intern(o.scriptKey(spec.Name, huge), func() workload.Script {
+		return spec.Build(huge, o.Seed)
+	})
+}

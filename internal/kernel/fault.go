@@ -3,6 +3,7 @@ package kernel
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"lelantus/internal/core"
 	"lelantus/internal/mem"
@@ -187,9 +188,18 @@ func (k *Kernel) reclaimDependents(now, srcBase uint64, info *PageInfo) (uint64,
 			addCandidate(pid, info.Vaddr, info.Huge)
 		}
 	}
+	// Issue the phyc commands in address order: candidate discovery walks
+	// Go maps, and the command sequence feeds order-sensitive device timing
+	// (bank and row-buffer state), so an unsorted walk makes ExecNs vary
+	// between identical runs.
+	ordered := make([]uint64, 0, len(candidates))
+	for cand := range candidates {
+		ordered = append(ordered, cand)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
 	n := unitFrames(info.Huge)
 	var err error
-	for cand := range candidates {
+	for _, cand := range ordered {
 		for f := uint64(0); f < n; f++ {
 			k.Stats.PhycCommands++
 			if now, _, err = k.ctl.PagePhyc(now, srcBase+f, cand+f); err != nil {

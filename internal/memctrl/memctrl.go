@@ -98,6 +98,12 @@ func New(cfg Config) (*Controller, error) {
 	}
 	tree := bmt.New([]byte("lelantus-bmt-key"), pages)
 	macs := bmt.NewMACStore([]byte("lelantus-mac-key"))
+	if cfg.Core.Fidelity == core.FidelityTiming {
+		// Timing fidelity: the tree keeps its update/verify counters and
+		// dirty-path bookkeeping but computes no hashes; the engine elides
+		// the per-line pad/MAC work itself (see core.Fidelity).
+		tree.DisableHashing()
+	}
 
 	ctrBytes := cfg.CtrCacheBytes
 	cowBytes := uint64(0)

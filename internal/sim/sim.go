@@ -89,6 +89,12 @@ type Machine struct {
 	procs   []kernel.Pid
 	regions []uint64
 	procNs  []uint64 // simulated time attributed to each process slot
+
+	// beginSnap/endSnap are the two statistics snapshots a run needs. They
+	// live in the struct so their procNs scratch buffers (sized on first
+	// use) are reused across snapshots and runs, keeping snapshot-taking on
+	// the measured path allocation-free.
+	beginSnap, endSnap snapshot
 }
 
 // NewMachine builds a machine from the configuration.
@@ -124,9 +130,14 @@ type snapshot struct {
 	tlbWalks             uint64
 }
 
-func (m *Machine) snap() snapshot {
+// snapInto fills dst with the machine's current counters. dst's procNs
+// slice is reused as scratch (copied into, never aliased with another
+// snapshot), so taking a snapshot allocates nothing once the buffer is
+// sized — gated by TestSnapshotAllocFree.
+func (m *Machine) snapInto(dst *snapshot) {
 	demand, copyT, initT := m.Ctl.TrafficByContext()
-	return snapshot{
+	procNs := append(dst.procNs[:0], m.procNs...)
+	*dst = snapshot{
 		nvmReads:  m.Ctl.Dev.Reads,
 		nvmWrites: m.Ctl.Dev.Writes,
 		engine:    m.Ctl.Engine.Stats,
@@ -137,20 +148,25 @@ func (m *Machine) snap() snapshot {
 		copyT:     copyT,
 		initT:     initT,
 		nowNs:     m.now,
-		procNs:    append([]uint64(nil), m.procNs...),
+		procNs:    procNs,
 		tlbWalks:  m.Kern.TLBWalks(),
 	}
 }
 
 // Run executes a script to completion and returns the measured-phase
 // result (from the BeginMeasure op, or the whole run without one).
+//
+// Run treats the Script as read-only: no op field is ever written, and
+// shared slices (Op.Procs) are copied before use. One Script value may
+// therefore be shared by many machines running concurrently — RunGrid and
+// the experiment harness's script interning rely on this.
 func (m *Machine) Run(s workload.Script) (Result, error) {
 	m.procs = make([]kernel.Pid, s.Procs)
 	m.regions = make([]uint64, s.Regions)
 	m.procNs = make([]uint64, s.Procs)
 
-	begin := m.snap()
-	var end *snapshot
+	m.snapInto(&m.beginSnap)
+	endTaken := false
 	var err error
 	for idx := range s.Ops {
 		// Iterate by pointer: Op is a large value struct and this loop runs
@@ -185,8 +201,12 @@ func (m *Machine) Run(s workload.Script) (Result, error) {
 		case workload.OpMunmap:
 			m.now, err = m.Kern.Munmap(m.now, m.procs[op.Proc], m.regions[op.Region]+op.Off, op.Bytes)
 		case workload.OpKSM:
-			refs := make([]kernel.PageRef, len(op.Procs))
-			for i, ps := range op.Procs {
+			// op.Procs belongs to the (possibly shared) Script; copy it
+			// into a local slice so nothing handed downstream can alias
+			// script-owned memory, even if a future kernel reorders refs.
+			procs := append([]int(nil), op.Procs...)
+			refs := make([]kernel.PageRef, len(procs))
+			for i, ps := range procs {
 				refs[i] = kernel.PageRef{PID: m.procs[ps], Vaddr: m.regions[op.Region] + op.Off}
 			}
 			_, m.now, err = m.Kern.KSMMerge(m.now, refs)
@@ -198,12 +218,12 @@ func (m *Machine) Run(s workload.Script) (Result, error) {
 			// window of whichever scheme did not happen to flush it
 			// earlier (e.g. Lelantus flushes at fork, Baseline never does).
 			if err = m.Ctl.Drain(); err == nil {
-				begin = m.snap()
+				m.snapInto(&m.beginSnap)
 			}
 		case workload.OpEndMeasure:
 			if err = m.Ctl.Drain(); err == nil {
-				s := m.snap()
-				end = &s
+				m.snapInto(&m.endSnap)
+				endTaken = true
 			}
 		default:
 			err = fmt.Errorf("sim: unknown op kind %d", op.Kind)
@@ -229,10 +249,10 @@ func (m *Machine) Run(s workload.Script) (Result, error) {
 	if err := m.Ctl.Drain(); err != nil {
 		return Result{}, fmt.Errorf("sim: drain: %w", err)
 	}
-	if end == nil {
-		s := m.snap()
-		end = &s
+	if !endTaken {
+		m.snapInto(&m.endSnap)
 	}
+	begin, end := &m.beginSnap, &m.endSnap
 
 	execNs := end.nowNs - begin.nowNs
 	if s.MeasureProc >= 0 && s.MeasureProc < len(end.procNs) {

@@ -94,6 +94,13 @@ func (o Op) String() string {
 }
 
 // Script is a named operation sequence.
+//
+// A Script is immutable once built: nothing in the simulator writes to it,
+// and sim.Machine.Run copies the one shared slice an Op carries (Procs)
+// before handing it downstream. One Script value may therefore be shared
+// read-only by any number of concurrently running machines — the
+// experiment harness interns each generated script and runs it on every
+// scheme's grid cell.
 type Script struct {
 	Name string
 	Ops  []Op

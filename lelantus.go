@@ -53,6 +53,20 @@ const (
 // "lelantus", "lelantus-cow") to its Scheme value.
 func ParseScheme(name string) (Scheme, error) { return core.ParseScheme(name) }
 
+// Fidelity selects whether a machine computes the crypto data plane
+// (FidelityFull) or elides it while keeping every reported statistic and
+// latency identical (FidelityTiming — the grid/benchmark fast path).
+type Fidelity = core.Fidelity
+
+// The two fidelities. FidelityFull is the zero value and the default.
+const (
+	FidelityFull   = core.FidelityFull
+	FidelityTiming = core.FidelityTiming
+)
+
+// ParseFidelity maps "full" or "timing" to its Fidelity value.
+func ParseFidelity(name string) (Fidelity, error) { return core.ParseFidelity(name) }
+
 // Schemes lists every scheme in comparison order.
 func Schemes() []Scheme { return core.Schemes() }
 
