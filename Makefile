@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-json-timing verify
+.PHONY: all build vet test race bench bench-json bench-json-timing nopanic crash-sweep verify
 
 all: verify
 
@@ -16,9 +16,22 @@ test:
 # The grid runner and the experiment harness are the only concurrent
 # code in the repository; -short keeps the race pass CI-sized while
 # still exercising every RunGrid path (the determinism tests run
-# multi-worker grids even in short mode).
+# multi-worker grids even in short mode). The crash-sweep tests run
+# their cells in parallel, so the fault plane rides along.
 race:
-	$(GO) test -race -short ./internal/sim/... ./internal/experiments/...
+	$(GO) test -race -short ./internal/sim/... ./internal/experiments/... ./internal/faultinject/...
+
+# No panic() may be reachable from the public Machine/Controller API:
+# internal-invariant failures surface as typed errors through Run.
+nopanic:
+	@! grep -rn --include='*.go' --exclude='*_test.go' 'panic(' internal lelantus.go \
+	    || (echo 'panic() reachable from the public API'; exit 1)
+
+# Crash-point enumeration smoke: crash at strided persist points across
+# every scheme and counter-cache mode, recover, and require zero
+# invariant violations.
+crash-sweep:
+	$(GO) test -count=1 -run 'TestCrashSweep|TestCrashRecovery' ./internal/sim
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
@@ -48,4 +61,4 @@ bench-json-timing:
 	      -bench '^BenchmarkFig9$$' -benchtime 2x . ; } \
 	  | $(GO) run ./cmd/benchjson > BENCH_timing.json
 
-verify: build vet test race
+verify: build vet nopanic test race crash-sweep

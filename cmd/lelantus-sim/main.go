@@ -6,6 +6,8 @@
 //	lelantus-sim -workload forkbench -scheme lelantus
 //	lelantus-sim -workload redis -scheme baseline -huge
 //	lelantus-sim -workload redis -all -parallel 4
+//	lelantus-sim -workload forkbench -faultseed 7 -faultpoints
+//	lelantus-sim -workload forkbench -faultseed 7 -crashpoint 120
 //	lelantus-sim -list
 package main
 
@@ -40,6 +42,9 @@ func main() {
 	replay := flag.String("replay", "", "run a script recorded with -record instead of -workload")
 	disasm := flag.Bool("disasm", false, "print the first 40 ops of the script before running")
 	asJSON := flag.Bool("json", false, "emit the result as JSON instead of text")
+	faultSeed := flag.Int64("faultseed", 1, "deterministic fault-injection seed (crash/tear decisions)")
+	crashPoint := flag.Uint64("crashpoint", 0, "crash at this persist point, power-cycle and print the recovery report (0 = off)")
+	faultPoints := flag.Bool("faultpoints", false, "count the script's persist points (the -crashpoint index space) and exit")
 	flag.Parse()
 
 	if *list {
@@ -100,6 +105,38 @@ func main() {
 	cfg := lelantus.DefaultConfig(scheme)
 	cfg.Mem.MemBytes = *memMB << 20
 	cfg.Mem.Core.Fidelity = fidelity
+
+	if *faultPoints {
+		n, err := lelantus.CrashPoints(cfg, script, *faultSeed)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Printf("%d persist points (crash index space 1..%d)\n", n, n)
+		return
+	}
+	if *crashPoint > 0 {
+		cell, err := lelantus.CrashAt(cfg, script, *faultSeed, *crashPoint)
+		if err != nil {
+			fail(err)
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", " ")
+			if err := enc.Encode(cell); err != nil {
+				fail(err)
+			}
+		} else {
+			fmt.Printf("crashed at persist point %d (%v)\n", cell.Point, cell.At)
+			fmt.Println(cell.Report)
+			for _, v := range cell.Violations {
+				fmt.Printf("VIOLATION: %s\n", v)
+			}
+		}
+		if len(cell.Violations) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	res, err := lelantus.RunWith(cfg, script)
 	if err != nil {

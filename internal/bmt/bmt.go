@@ -256,6 +256,65 @@ func (t *Tree) Root() [hashSize]byte {
 	return t.root
 }
 
+// RootRegister returns the root as last propagated — the battery-held
+// on-chip register a crash preserves — without flushing pending updates.
+// Root() is the quiesce point; this is the crash-time view the recovery
+// scrub compares its rebuilt root against.
+func (t *Tree) RootRegister() [hashSize]byte { return t.root }
+
+// VerifyLeaf checks raw against the stored leaf digest of counter block idx
+// alone, without walking to the root. The post-crash scrub uses it to
+// localise torn or stale blocks: leaf digests are persisted eagerly with
+// their blocks (Update computes them before the write is acknowledged), so
+// a block whose NVM bytes disagree with its own digest was torn or lost
+// mid-write. Accounting-only trees (timing fidelity) keep no digests and
+// report success.
+func (t *Tree) VerifyLeaf(idx uint64, raw []byte) error {
+	if t.accountingOnly {
+		return nil
+	}
+	stored, ok := t.nodes[0][idx]
+	if !ok {
+		return fmt.Errorf("bmt: no leaf digest for counter block %d", idx)
+	}
+	if t.leafHash(idx, raw) != stored {
+		return fmt.Errorf("bmt: leaf digest mismatch at counter block %d", idx)
+	}
+	return nil
+}
+
+// RebuildFromLeaves reconstructs every inner node and the root from the
+// persisted leaf digests — Phoenix-style selective persistence: leaves are
+// durable alongside their counter blocks while the tree interior is
+// volatile on-chip state, so recovery recomputes it bottom-up instead of
+// persisting every inner-node update during normal operation. Any pending
+// lazy propagation is superseded. Returns the number of inner nodes
+// rebuilt (0 in accounting-only mode, which stores no digests).
+func (t *Tree) RebuildFromLeaves() uint64 {
+	for l := 1; l < t.levels; l++ {
+		clear(t.dirty[l])
+	}
+	t.pending = false
+	if t.accountingOnly {
+		return 0
+	}
+	var rebuilt uint64
+	for l := 1; l < t.levels; l++ {
+		fresh := make(map[uint64][hashSize]byte, len(t.nodes[l-1])/Arity+1)
+		for child := range t.nodes[l-1] {
+			parent := child / Arity
+			if _, done := fresh[parent]; done {
+				continue
+			}
+			fresh[parent] = t.recomputeInner(l, parent)
+			rebuilt++
+		}
+		t.nodes[l] = fresh
+	}
+	t.root = t.nodeHash(t.levels-1, 0)
+	return rebuilt
+}
+
 // macPageLines groups per-line MACs into fixed 64-line pages (one 4 KB data
 // page's worth), so the store is a dense two-level table instead of a map:
 // page lookup is an array index, presence is one bit, and the Drop-heavy

@@ -19,7 +19,10 @@ func TestStoreCoWMappingChargesRead(t *testing.T) {
 
 	r0, w0 := e.Stats.CoWMetaReads, e.Stats.CoWMetaWrite
 	devR0, devW0 := e.Dev.Reads, e.Dev.Writes
-	done := e.storeCoWMapping(now, dst, src, true)
+	done, err := e.storeCoWMapping(now, dst, src, true)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if e.Stats.CoWMetaReads != r0+1 {
 		t.Fatalf("CoWMetaReads = %d, want %d (RMW read not charged)", e.Stats.CoWMetaReads, r0+1)
@@ -41,8 +44,8 @@ func TestStoreCoWMappingChargesRead(t *testing.T) {
 
 	// Erasing an absent mapping stays a free no-op: no phantom traffic.
 	r1, d1 := e.Stats.CoWMetaReads, e.Dev.Reads
-	if got := e.storeCoWMapping(now, dst+1, 0, false); got != now {
-		t.Fatalf("erase of absent mapping moved time to %d", got)
+	if got, err := e.storeCoWMapping(now, dst+1, 0, false); err != nil || got != now {
+		t.Fatalf("erase of absent mapping moved time to %d (err %v)", got, err)
 	}
 	if e.Stats.CoWMetaReads != r1 || e.Dev.Reads != d1 {
 		t.Fatal("erase of absent mapping generated traffic")
@@ -65,7 +68,10 @@ func TestStoreBlockChargesVictimWriteBack(t *testing.T) {
 	const now = 9000
 	ctrW0 := e.Stats.CtrWrites
 	blk := ctr.Block{Format: e.Scheme().Format()}
-	done := e.storeBlock(now, pageB, &blk)
+	done, err := e.storeBlock(now, pageB, &blk)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	if e.Stats.CtrWrites != ctrW0+1 {
 		t.Fatalf("CtrWrites = %d, want %d (victim write-back missing)", e.Stats.CtrWrites, ctrW0+1)

@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"lelantus/internal/ctr"
+	"lelantus/internal/faultinject"
 	"lelantus/internal/mem"
 )
 
@@ -56,7 +57,7 @@ func (e *Engine) PageCopy(now, src, dst uint64) (uint64, error) {
 		}
 	case LelantusCoW:
 		if blkSrc.UncopiedCount() == ctr.LinesPerPage {
-			if s, ok := e.cowTable[src]; ok {
+			if s, ok := e.peekCoWEntry(src); ok {
 				actual = s
 			}
 		}
@@ -78,10 +79,19 @@ func (e *Engine) PageCopy(now, src, dst uint64) (uint64, error) {
 		for i := range blkDst.Minor {
 			blkDst.Minor[i] = 0
 		}
-		t = e.storeCoWMapping(t, dst, actual, true)
+		if t, err = e.storeCoWMapping(t, dst, actual, true); err != nil {
+			return t, err
+		}
+		// Ordering seam: the srcAddr record is durable before the counter
+		// block flips the destination's minors to zero. A crash here leaves
+		// a mapping whose destination still reads its old content — benign,
+		// and exactly what the sweep's invariant checker proves.
+		if d := e.fiHit(faultinject.PageCopySeam); d.Action == faultinject.ActCrash {
+			return t, d.Err
+		}
 	}
 	e.clearLinePrivacy(dst)
-	return e.storeBlock(t, dst, &blkDst), nil
+	return e.storeBlock(t, dst, &blkDst)
 }
 
 // PageInit executes the page_init command: the destination page becomes
@@ -108,14 +118,19 @@ func (e *Engine) PageInit(now, dst uint64) (uint64, error) {
 		for i := range blk.Minor {
 			blk.Minor[i] = 0
 		}
-		t = e.storeCoWMapping(t, dst, 0, false)
+		if t, err = e.storeCoWMapping(t, dst, 0, false); err != nil {
+			return t, err
+		}
+		if d := e.fiHit(faultinject.PageCopySeam); d.Action == faultinject.ActCrash {
+			return t, d.Err
+		}
 	case SilentShredder:
 		for i := range blk.Minor {
 			blk.Minor[i] = 0
 		}
 	}
 	e.clearLinePrivacy(dst)
-	return e.storeBlock(t, dst, &blk), nil
+	return e.storeBlock(t, dst, &blk)
 }
 
 // PagePhyc executes the page_phyc command: a real, physical copy of the
@@ -165,25 +180,37 @@ func (e *Engine) PagePhyc(now, src, dst uint64) (done uint64, copied int, err er
 		blk.Minor[i] = 1
 		e.written.Set(lineNo)
 		var wt uint64
+		var dec faultinject.Decision
 		switch {
 		case e.cfg.NonSecure:
-			e.Phys.WriteLine(la, &plain)
+			dec = e.persistDataLine(la, &plain)
 			wt = e.Mem.Write(rt, la)
 		case e.cfg.Fidelity == FidelityTiming:
 			// Timing fidelity: plaintext at rest, pad and MAC elided, the
 			// secure path's AES latency charge kept.
 			e.Enc.NotePad()
-			e.Phys.WriteLine(la, &plain)
+			dec = e.persistDataLine(la, &plain)
 			wt = e.Mem.Write(rt+e.cfg.AESLatencyNs, la)
 		default:
 			ciph := e.Enc.Encrypt(&plain, lineNo, blk.Major, blk.Minor[i])
-			e.Phys.WriteLine(la, &ciph)
+			dec = e.persistDataLine(la, &ciph)
 			e.MACs.Update(lineNo, ciph[:], blk.Major, blk.Minor[i])
 			wt = e.Mem.Write(rt+e.cfg.AESLatencyNs, la)
 		}
 		e.Stats.DataWrites++
 		e.Stats.PhycLines++
 		copied++
+		e.fiObserve(dec, la, &plain)
+		if dec.Action == faultinject.ActCrash {
+			return wt, copied, dec.Err
+		}
+		// Crash after k of 64 materialised lines: the destination counter
+		// block in NVM still shows every minor zero, so the whole page keeps
+		// redirecting to the (still live) source — no torn half-copy is
+		// visible through the read path.
+		if d := e.fiHit(faultinject.PagePhycLine); d.Action == faultinject.ActCrash {
+			return wt, copied, d.Err
+		}
 		if wt > done {
 			done = wt
 		}
@@ -193,9 +220,14 @@ func (e *Engine) PagePhyc(now, src, dst uint64) (done uint64, copied int, err er
 	case Lelantus:
 		blk.ClearCoW()
 	case LelantusCoW:
-		done = maxU64(done, e.storeCoWMapping(done, dst, 0, false))
+		ct, cerr := e.storeCoWMapping(done, dst, 0, false)
+		if cerr != nil {
+			return ct, copied, cerr
+		}
+		done = maxU64(done, ct)
 	}
-	return maxU64(done, e.storeBlock(done, dst, &blk)), copied, nil
+	bt, err := e.storeBlock(done, dst, &blk)
+	return maxU64(done, bt), copied, err
 }
 
 // PageFree executes the page_free command: the destination page is being
@@ -221,10 +253,12 @@ func (e *Engine) PageFree(now, dst uint64) (uint64, error) {
 		}
 		blk.ClearCoW()
 	case LelantusCoW:
-		if _, ok := e.cowTable[dst]; ok {
+		if _, ok := e.peekCoWEntry(dst); ok {
 			e.Stats.ElidedLines += uint64(blk.UncopiedCount())
 		}
-		t = e.storeCoWMapping(t, dst, 0, false)
+		if t, err = e.storeCoWMapping(t, dst, 0, false); err != nil {
+			return t, err
+		}
 	}
 	blk.Major++
 	if blk.Format == ctr.Resized {
@@ -234,5 +268,5 @@ func (e *Engine) PageFree(now, dst uint64) (uint64, error) {
 		blk.Minor[i] = 0
 	}
 	e.clearLinePrivacy(dst)
-	return e.storeBlock(t, dst, &blk), nil
+	return e.storeBlock(t, dst, &blk)
 }

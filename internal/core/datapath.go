@@ -1,9 +1,17 @@
 package core
 
 import (
+	"encoding/binary"
+
 	"lelantus/internal/ctr"
+	"lelantus/internal/faultinject"
 	"lelantus/internal/mem"
 )
+
+// cowPresent is the presence bit of a supplementary CoW-table entry: the
+// 8-byte NVM word packs a 63-bit source PFN plus this flag, making the
+// packed bytes in Phys the single durable source of truth for the mapping.
+const cowPresent = uint64(1) << 63
 
 // zeroLine is the all-zeros plaintext returned for zero-encoded and
 // never-written lines.
@@ -14,6 +22,32 @@ func maxU64(a, b uint64) uint64 {
 		return a
 	}
 	return b
+}
+
+// persistDataLine commits a 64 B data image to NVM bytes through the fault
+// plane: a drop leaves the old bytes, a tear merges an 8 B-granular prefix,
+// a crash tears and then unwinds the command. Callers charge device time
+// and stats themselves — injected faults change bytes, never timing.
+func (e *Engine) persistDataLine(addr uint64, img *[mem.LineBytes]byte) faultinject.Decision {
+	dec := e.fiHit(e.fiDataPoint)
+	switch dec.Action {
+	case faultinject.ActDrop:
+		// Lost in the queue / dropped by the device: old bytes survive.
+	case faultinject.ActTear, faultinject.ActCrash:
+		e.tornLineWrite(addr, img, dec.KeepWords)
+	default:
+		e.Phys.WriteLine(addr, img)
+	}
+	return dec
+}
+
+// fiObserve records a landed data image in the fault plane's shadow history
+// so the crash-sweep oracle can distinguish stale-but-valid content from
+// corruption. plain is the plaintext value a later read should produce.
+func (e *Engine) fiObserve(dec faultinject.Decision, addr uint64, plain *[mem.LineBytes]byte) {
+	if e.fi != nil && dec.Landed() {
+		e.fi.ObserveData(addr, plain)
+	}
 }
 
 // resolve follows the CoW metadata from the requested line to the line that
@@ -138,7 +172,7 @@ func (e *Engine) WriteLine(now, lineAddr uint64, plain *[mem.LineBytes]byte) (ui
 		e.MACs.Drop(lineNo)
 		e.written.Clear(lineNo)
 		e.Stats.ZeroWriteElisions++
-		return e.storeBlock(t, pfn, &blk), nil
+		return e.storeBlock(t, pfn, &blk)
 	}
 
 	wasZero := blk.Minor[li] == 0
@@ -149,7 +183,7 @@ func (e *Engine) WriteLine(now, lineAddr uint64, plain *[mem.LineBytes]byte) (ui
 		}
 	case LelantusCoW:
 		if wasZero {
-			if _, ok := e.cowTable[pfn]; ok {
+			if _, ok := e.peekCoWEntry(pfn); ok {
 				e.Stats.CopiedOnDemand++
 			}
 		}
@@ -184,11 +218,16 @@ func (e *Engine) WriteLine(now, lineAddr uint64, plain *[mem.LineBytes]byte) (ui
 	lineNo := mem.LineNo(lineAddr)
 	e.written.Set(lineNo)
 	if e.cfg.NonSecure {
-		e.Phys.WriteLine(lineAddr, plain)
+		dec := e.persistDataLine(lineAddr, plain)
 		dataDone := e.Mem.Write(t, lineAddr)
 		e.Stats.DataWrites++
+		e.fiObserve(dec, lineAddr, plain)
+		if dec.Action == faultinject.ActCrash {
+			return dataDone, dec.Err
+		}
 		if ctrChanged {
-			return maxU64(dataDone, e.storeBlock(t, pfn, &blk)), nil
+			ctrDone, err := e.storeBlock(t, pfn, &blk)
+			return maxU64(dataDone, ctrDone), err
 		}
 		return dataDone, nil
 	}
@@ -200,19 +239,30 @@ func (e *Engine) WriteLine(now, lineAddr uint64, plain *[mem.LineBytes]byte) (ui
 		// visible operation order and every latency charge match the
 		// secure path below.
 		e.Enc.NotePad()
-		e.Phys.WriteLine(lineAddr, plain)
+		dec := e.persistDataLine(lineAddr, plain)
 		dataDone := e.Mem.Write(t+e.cfg.AESLatencyNs, lineAddr)
 		e.Stats.DataWrites++
-		ctrDone := e.storeBlock(t, pfn, &blk)
-		return maxU64(dataDone, ctrDone), nil
+		e.fiObserve(dec, lineAddr, plain)
+		if dec.Action == faultinject.ActCrash {
+			return dataDone, dec.Err
+		}
+		ctrDone, err := e.storeBlock(t, pfn, &blk)
+		return maxU64(dataDone, ctrDone), err
 	}
 	ciph := e.Enc.Encrypt(plain, lineNo, blk.Major, blk.Minor[li])
-	e.Phys.WriteLine(lineAddr, &ciph)
+	dec := e.persistDataLine(lineAddr, &ciph)
+	// The MAC store always receives the intended ciphertext: like the BMT
+	// leaf digests, it describes what *should* be in NVM, so a torn or lost
+	// data write is caught as a MAC mismatch on the next read.
 	e.MACs.Update(lineNo, ciph[:], blk.Major, blk.Minor[li])
 	dataDone := e.Mem.Write(t+e.cfg.AESLatencyNs, lineAddr)
 	e.Stats.DataWrites++
-	ctrDone := e.storeBlock(t, pfn, &blk)
-	return maxU64(dataDone, ctrDone), nil
+	e.fiObserve(dec, lineAddr, plain)
+	if dec.Action == faultinject.ActCrash {
+		return dataDone, dec.Err
+	}
+	ctrDone, err := e.storeBlock(t, pfn, &blk)
+	return maxU64(dataDone, ctrDone), err
 }
 
 // reencryptPage handles a minor-counter overflow: the page enters a new
@@ -247,6 +297,11 @@ func (e *Engine) reencryptPage(now, pfn uint64, blk *ctr.Block, skipLine int) (u
 			wt := e.Mem.Write(rt+e.cfg.AESLatencyNs, la)
 			e.Stats.DataWrites++
 			e.Stats.ReencryptedLines++
+			// No byte movement to fault, but the persist point still counts
+			// so crash enumeration covers the mid-sweep seam here too.
+			if d := e.fiHit(faultinject.ReencryptLine); d.Action == faultinject.ActCrash {
+				return wt, d.Err
+			}
 			if wt > done {
 				done = wt
 			}
@@ -261,16 +316,38 @@ func (e *Engine) reencryptPage(now, pfn uint64, blk *ctr.Block, skipLine int) (u
 		}
 		plain := e.Enc.Decrypt(&ciph, lineNo, oldMajor, oldMinor[i])
 		newCiph := e.Enc.Encrypt(&plain, lineNo, blk.Major, blk.Minor[i])
-		e.Phys.WriteLine(la, &newCiph)
+		dec := e.persistDataLine(la, &newCiph)
 		e.MACs.Update(lineNo, newCiph[:], blk.Major, blk.Minor[i])
 		wt := e.Mem.Write(rt+e.cfg.AESLatencyNs, la)
 		e.Stats.DataWrites++
 		e.Stats.ReencryptedLines++
+		e.fiObserve(dec, la, &plain)
+		if dec.Action == faultinject.ActCrash {
+			return wt, dec.Err
+		}
+		// A crash between one line's write and its neighbour's leaves the
+		// page half in the old epoch, half in the new — the recovery scrub
+		// must surface every old-epoch line as a MAC mismatch.
+		if d := e.fiHit(faultinject.ReencryptLine); d.Action == faultinject.ActCrash {
+			return wt, d.Err
+		}
 		if wt > done {
 			done = wt
 		}
 	}
 	return done, nil
+}
+
+// peekCoWEntry decodes page pfn's supplementary CoW-table entry straight
+// from the durable NVM bytes, side-effect free. Unlike the CoW cache —
+// which may run ahead of NVM when a write is lost in the queue — this is
+// the crash-durable view, and the only one recovery may trust.
+func (e *Engine) peekCoWEntry(pfn uint64) (src uint64, present bool) {
+	var raw [mem.LineBytes]byte
+	e.Phys.ReadLine(e.cowMetaAddr(pfn), &raw)
+	off := (pfn * 8) % mem.LineBytes
+	v := binary.LittleEndian.Uint64(raw[off : off+8])
+	return v &^ cowPresent, v&cowPresent != 0
 }
 
 // lookupCoW consults the supplementary CoW table (Lelantus-CoW) for the
@@ -283,22 +360,27 @@ func (e *Engine) lookupCoW(now, pfn uint64) (src uint64, ok bool, done uint64) {
 	}
 	done = e.Mem.Read(done, e.cowMetaAddr(pfn))
 	e.Stats.CoWMetaReads++
-	s, present := e.cowTable[pfn]
+	s, present := e.peekCoWEntry(pfn)
 	e.CoWCache.Insert(pfn, s, present)
 	return s, present, done
 }
 
 // storeCoWMapping updates the supplementary CoW-metadata region (and its
-// cache slice). present=false erases the mapping.
-func (e *Engine) storeCoWMapping(now, dst, src uint64, present bool) uint64 {
+// cache slice). present=false erases the mapping. The entry write goes
+// through the cow-meta-write fault point: an 8-byte entry is word-atomic
+// on the device, so a "tear" of the surrounding 64 B line either lands the
+// entry or leaves the old one — never half a PFN.
+func (e *Engine) storeCoWMapping(now, dst, src uint64, present bool) (uint64, error) {
+	if !present {
+		if _, had := e.peekCoWEntry(dst); !had {
+			return now, nil
+		}
+	}
+	// The cache slice holds the controller's intended view; it may run
+	// ahead of NVM if the fault plane loses the write below.
 	if present {
-		e.cowTable[dst] = src
 		e.CoWCache.Insert(dst, src, true)
 	} else {
-		if _, had := e.cowTable[dst]; !had {
-			return now
-		}
-		delete(e.cowTable, dst)
 		e.CoWCache.Insert(dst, 0, false)
 	}
 	addr := e.cowMetaAddr(dst)
@@ -310,14 +392,26 @@ func (e *Engine) storeCoWMapping(now, dst, src uint64, present bool) uint64 {
 	now = e.Mem.Read(now, addr)
 	e.Stats.CoWMetaReads++
 	off := (dst * 8) % mem.LineBytes
-	v := src
-	if !present {
-		v = 0
+	v := uint64(0)
+	if present {
+		v = src | cowPresent
 	}
-	for b := 0; b < 8; b++ {
-		raw[off+uint64(b)] = byte(v >> (8 * b))
-	}
-	e.Phys.WriteLine(addr, &raw)
+	binary.LittleEndian.PutUint64(raw[off:off+8], v)
 	e.Stats.CoWMetaWrite++
-	return e.Mem.Write(now, addr)
+	done := e.Mem.Write(now, addr)
+	dec := e.fiHit(faultinject.CoWMetaWrite)
+	switch dec.Action {
+	case faultinject.ActDrop:
+		// Entry lost in the queue: NVM keeps the previous mapping while the
+		// CoW cache already serves the new one — the volatile-ahead hazard
+		// the crash test pins down.
+	case faultinject.ActTear, faultinject.ActCrash:
+		e.tornLineWrite(addr, &raw, dec.KeepWords)
+		if dec.Action == faultinject.ActCrash {
+			return done, dec.Err
+		}
+	default:
+		e.Phys.WriteLine(addr, &raw)
+	}
+	return done, nil
 }

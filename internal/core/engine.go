@@ -31,6 +31,7 @@ import (
 	"lelantus/internal/ctr"
 	"lelantus/internal/ctrcache"
 	"lelantus/internal/enc"
+	"lelantus/internal/faultinject"
 	"lelantus/internal/mem"
 	"lelantus/internal/nvm"
 )
@@ -93,6 +94,11 @@ func Schemes() []Scheme {
 // ErrUnsupported is returned for a CoW command the scheme cannot execute;
 // the kernel then falls back to a conventional copy.
 var ErrUnsupported = errors.New("core: command not supported by scheme")
+
+// ErrMetadataCorrupt reports a counter block whose in-memory state can no
+// longer be encoded to its NVM format — an internal-invariant failure
+// surfaced as a typed error through Machine.Run rather than a panic.
+var ErrMetadataCorrupt = errors.New("core: counter metadata corrupt")
 
 // Layout fixes where metadata lives in the physical address space.
 type Layout struct {
@@ -189,6 +195,15 @@ type Stats struct {
 	PagePhycs  uint64
 	PageFrees  uint64
 	PageInits  uint64
+
+	// Recovery-scrub accounting (Engine.Recover).
+	Recoveries            uint64
+	RecoveryBlocksScanned uint64
+	RecoveryTornBlocks    uint64
+	RecoveryNodesRebuilt  uint64
+	RecoveryLinesScrubbed uint64
+	RecoveryMACMismatches uint64
+	RecoveryNs            uint64
 }
 
 // NVMWrites returns all NVM write traffic caused through the engine.
@@ -228,9 +243,13 @@ type Engine struct {
 	// Dense bitset sized from the data region: the hot path tests it on
 	// every counter-block miss.
 	initialised *bitset.Set
-	// cowTable mirrors the supplementary CoW region's logical content
-	// (dstPFN -> srcPFN); the packed bytes also live in Phys.
-	cowTable map[uint64]uint64
+
+	// fi is the optional deterministic fault-injection plane; nil costs one
+	// pointer compare per persist. fiDataPoint is the point name data-line
+	// writes report: QueueLoss when a volatile write queue fronts the
+	// device, DataWrite otherwise.
+	fi          *faultinject.Plane
+	fiDataPoint faultinject.Point
 
 	// written marks lines that have ever been encrypted to NVM; reads of
 	// never-written lines return zeros (fresh memory). Dense bitset, one
@@ -265,7 +284,7 @@ func NewEngine(cfg Config, layout Layout, phys *mem.Physical, dev *nvm.Device,
 		CoWCache:    cowCache,
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		initialised: bitset.New(pages),
-		cowTable:    make(map[uint64]uint64),
+		fiDataPoint: faultinject.DataWrite,
 		written:     bitset.New(lines),
 		tracked:     bitset.New(pages),
 		footprint:   make(map[uint64]uint64),
@@ -277,6 +296,44 @@ func (e *Engine) Scheme() Scheme { return e.cfg.Scheme }
 
 // Layout returns the metadata address map.
 func (e *Engine) Layout() Layout { return e.layout }
+
+// AttachFaultPlane wires a deterministic fault-injection plane into every
+// persist point. queueFronted selects the point name data-line persistence
+// reports: with a volatile write queue in front of the device a lost write
+// is queue loss, without one it is a device write drop.
+func (e *Engine) AttachFaultPlane(p *faultinject.Plane, queueFronted bool) {
+	e.fi = p
+	if queueFronted {
+		e.fiDataPoint = faultinject.QueueLoss
+	} else {
+		e.fiDataPoint = faultinject.DataWrite
+	}
+}
+
+// fiHit consults the fault plane at a named persist point. With no plane
+// attached this is a single nil compare.
+func (e *Engine) fiHit(pt faultinject.Point) faultinject.Decision {
+	if e.fi == nil {
+		return faultinject.Decision{}
+	}
+	return e.fi.Hit(pt)
+}
+
+// tornLineWrite applies the first keepWords 8-byte words of img on top of
+// the line's current NVM bytes, modelling a write torn at the device's
+// 8-byte atomicity boundary mid-line.
+func (e *Engine) tornLineWrite(addr uint64, img *[mem.LineBytes]byte, keepWords int) {
+	if keepWords <= 0 {
+		return
+	}
+	if keepWords > faultinject.WordsPerLine {
+		keepWords = faultinject.WordsPerLine
+	}
+	var old [mem.LineBytes]byte
+	e.Phys.ReadLine(addr, &old)
+	copy(old[:keepWords*8], img[:keepWords*8])
+	e.Phys.WriteLine(addr, &old)
+}
 
 func (e *Engine) ctrAddr(pfn uint64) uint64 { return e.layout.CounterBase + pfn*ctr.BlockBytes }
 
@@ -301,21 +358,24 @@ func (e *Engine) freshBlock() ctr.Block {
 }
 
 // ensureInit installs a page's boot-time counter block in NVM. This models
-// machine-reset state and is free of simulated time and traffic.
-func (e *Engine) ensureInit(pfn uint64) {
+// machine-reset state and is free of simulated time and traffic. Boot-state
+// installation sits below the fault plane: injected faults target the
+// runtime persist points, not reset state.
+func (e *Engine) ensureInit(pfn uint64) error {
 	if e.initialised.Test(pfn) {
-		return
+		return nil
 	}
 	e.initialised.Set(pfn)
 	b := e.freshBlock()
 	var raw [ctr.BlockBytes]byte
 	if err := b.PackInto(&raw); err != nil {
-		panic("core: fresh block must pack: " + err.Error())
+		return fmt.Errorf("%w: fresh counter block for page %#x: %v", ErrMetadataCorrupt, pfn, err)
 	}
 	e.Phys.WriteLine(e.ctrAddr(pfn), &raw)
 	if !e.cfg.NonSecure {
 		e.Tree.Update(pfn, raw[:])
 	}
+	return nil
 }
 
 // loadBlock returns a copy of the page's counter block and the completion
@@ -326,7 +386,9 @@ func (e *Engine) loadBlock(now, pfn uint64) (ctr.Block, uint64, error) {
 	if blk := e.CtrCache.Get(pfn); blk != nil {
 		return *blk, done, nil
 	}
-	e.ensureInit(pfn)
+	if err := e.ensureInit(pfn); err != nil {
+		return ctr.Block{}, done, err
+	}
 	var raw [ctr.BlockBytes]byte
 	addr := e.ctrAddr(pfn)
 	e.Phys.ReadLine(addr, &raw)
@@ -344,7 +406,9 @@ func (e *Engine) loadBlock(now, pfn uint64) (ctr.Block, uint64, error) {
 	}
 	// The fill's victim write-back proceeds in the background: the demand
 	// read does not wait on it, so its completion time is not propagated.
-	_ = e.installBlock(done, pfn, blk)
+	if _, err := e.installBlock(done, pfn, blk); err != nil {
+		return blk, done, err
+	}
 	return blk, done, nil
 }
 
@@ -352,35 +416,61 @@ func (e *Engine) loadBlock(now, pfn uint64) (ctr.Block, uint64, error) {
 // any dirty victim. It returns the completion time of that write-back (now
 // if no victim needed one): callers on the store path must wait for the
 // eviction to retire before their own counter update is durable.
-func (e *Engine) installBlock(now, pfn uint64, blk ctr.Block) uint64 {
+func (e *Engine) installBlock(now, pfn uint64, blk ctr.Block) (uint64, error) {
 	victim, needWB := e.CtrCache.Put(pfn, blk)
 	if needWB {
 		return e.persistBlock(now, victim.Page, &victim.Blk)
 	}
-	return now
+	return now, nil
 }
 
 // persistBlock packs a counter block, refreshes the integrity tree and
-// writes it to the NVM metadata region.
-func (e *Engine) persistBlock(now, pfn uint64, blk *ctr.Block) uint64 {
+// writes it to the NVM metadata region. Two fault-plane points live here:
+// ctr-write (the block's own 64 B line, tearable at 8 B granularity) and
+// bmt-update (the leaf-digest refresh). The tree always receives the
+// *intended* image while the device may keep a torn one — that divergence
+// is exactly what makes a torn counter write detectable at recovery.
+func (e *Engine) persistBlock(now, pfn uint64, blk *ctr.Block) (uint64, error) {
 	var raw [ctr.BlockBytes]byte
 	if err := blk.PackInto(&raw); err != nil {
-		panic(fmt.Sprintf("core: cannot pack counter block for page %#x: %v", pfn, err))
+		return now, fmt.Errorf("%w: cannot pack counter block for page %#x: %v", ErrMetadataCorrupt, pfn, err)
 	}
 	addr := e.ctrAddr(pfn)
-	e.Phys.WriteLine(addr, &raw)
-	if !e.cfg.NonSecure {
-		e.Tree.Update(pfn, raw[:])
-	}
 	e.Stats.CtrWrites++
 	e.initialised.Set(pfn)
-	return e.Mem.Write(now, addr)
+	done := e.Mem.Write(now, addr)
+	dec := e.fiHit(faultinject.CtrWrite)
+	switch dec.Action {
+	case faultinject.ActDrop:
+		// Lost in the volatile queue: neither bytes nor leaf digest change,
+		// leaving the old (stale but self-consistent) epoch in NVM.
+		return done, nil
+	case faultinject.ActTear, faultinject.ActCrash:
+		e.tornLineWrite(addr, &raw, dec.KeepWords)
+		if dec.Action == faultinject.ActCrash {
+			return done, dec.Err
+		}
+	default:
+		e.Phys.WriteLine(addr, &raw)
+	}
+	if !e.cfg.NonSecure {
+		if d := e.fiHit(faultinject.BMTUpdate); d.Action != faultinject.ActNone {
+			// Leaf-digest refresh lost: the stored digest keeps describing the
+			// previous epoch, so the scrub flags this block as torn.
+			if d.Action == faultinject.ActCrash {
+				return done, d.Err
+			}
+			return done, nil
+		}
+		e.Tree.Update(pfn, raw[:])
+	}
+	return done, nil
 }
 
 // storeBlock commits a modified counter block: the cache copy is updated
 // and, depending on the cache mode, the block is written through or left
 // dirty for eviction-time write-back.
-func (e *Engine) storeBlock(now, pfn uint64, blk *ctr.Block) uint64 {
+func (e *Engine) storeBlock(now, pfn uint64, blk *ctr.Block) (uint64, error) {
 	done := now
 	if cached := e.CtrCache.Get(pfn); cached != nil {
 		*cached = *blk
@@ -388,26 +478,44 @@ func (e *Engine) storeBlock(now, pfn uint64, blk *ctr.Block) uint64 {
 		// A miss may evict a dirty victim; its write-back must complete
 		// before this store's counter update is durable, so the returned
 		// timestamp carries the eviction cost.
-		done = e.installBlock(now, pfn, *blk)
+		var err error
+		if done, err = e.installBlock(now, pfn, *blk); err != nil {
+			return done, err
+		}
 	}
 	if e.CtrCache.MarkDirty(pfn) {
 		return e.persistBlock(done, pfn, blk)
 	}
-	return done
+	return done, nil
 }
 
-// DrainMetadata flushes dirty counter blocks (battery-backed write-back
-// drain at end of run) without advancing time. It also forces the lazily
-// maintained Merkle root current, so the persisted metadata image is
-// crash-consistent with the root the verifier would recompute.
-func (e *Engine) DrainMetadata() {
+// DrainMetadata flushes dirty counter blocks at the given timestamp (the
+// battery-backed drain at crash or end of run). Every victim issues at the
+// same `now` — the drain models the residual-energy burst flushing the
+// cache in parallel, not a serial chain — and the returned time is the
+// latest completion. It also forces the lazily maintained Merkle root
+// current, so the persisted metadata image is crash-consistent with the
+// root the verifier would recompute.
+func (e *Engine) DrainMetadata(now uint64) (uint64, error) {
+	done := now
+	var firstErr error
 	e.CtrCache.DrainDirty(func(v ctrcache.Victim) {
 		blk := v.Blk
-		e.persistBlock(0, v.Page, &blk)
+		d, err := e.persistBlock(now, v.Page, &blk)
+		if d > done {
+			done = d
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
 	})
+	if firstErr != nil {
+		return done, firstErr
+	}
 	if !e.cfg.NonSecure && e.Tree != nil {
 		e.Tree.Root()
 	}
+	return done, nil
 }
 
 // ResetVolatile replaces the on-chip metadata caches with cold ones,
@@ -469,7 +577,7 @@ func (e *Engine) IsCoW(pfn uint64) bool {
 		blk, ok := e.peekBlock(pfn)
 		return ok && blk.CoW
 	case LelantusCoW:
-		_, ok := e.cowTable[pfn]
+		_, ok := e.peekCoWEntry(pfn)
 		return ok
 	default:
 		return false
@@ -485,8 +593,7 @@ func (e *Engine) SourceOf(pfn uint64) (uint64, bool) {
 			return blk.Src, true
 		}
 	case LelantusCoW:
-		src, ok := e.cowTable[pfn]
-		return src, ok
+		return e.peekCoWEntry(pfn)
 	}
 	return 0, false
 }
@@ -503,4 +610,19 @@ func (e *Engine) UncopiedCount(pfn uint64) int {
 		return 0
 	}
 	return blk.UncopiedCount()
+}
+
+// PeekBlock exposes the side-effect-free counter-block view to external
+// verifiers (the crash-sweep oracle resolves a page's metadata epoch
+// without perturbing caches, stats or the clock).
+func (e *Engine) PeekBlock(pfn uint64) (ctr.Block, bool) { return e.peekBlock(pfn) }
+
+// PeekCoWEntry exposes the supplementary CoW table entry for a page
+// (LelantusCoW), decoded straight from NVM bytes, side-effect free.
+func (e *Engine) PeekCoWEntry(pfn uint64) (uint64, bool) { return e.peekCoWEntry(pfn) }
+
+// LineWritten reports whether the data line at lineAddr was ever encrypted
+// to NVM (never-written lines legitimately read as zeros).
+func (e *Engine) LineWritten(lineAddr uint64) bool {
+	return e.written.Test(mem.LineNo(lineAddr))
 }

@@ -27,6 +27,14 @@ func (s Stats) Sub(prev Stats) Stats {
 		PagePhycs:         s.PagePhycs - prev.PagePhycs,
 		PageFrees:         s.PageFrees - prev.PageFrees,
 		PageInits:         s.PageInits - prev.PageInits,
+
+		Recoveries:            s.Recoveries - prev.Recoveries,
+		RecoveryBlocksScanned: s.RecoveryBlocksScanned - prev.RecoveryBlocksScanned,
+		RecoveryTornBlocks:    s.RecoveryTornBlocks - prev.RecoveryTornBlocks,
+		RecoveryNodesRebuilt:  s.RecoveryNodesRebuilt - prev.RecoveryNodesRebuilt,
+		RecoveryLinesScrubbed: s.RecoveryLinesScrubbed - prev.RecoveryLinesScrubbed,
+		RecoveryMACMismatches: s.RecoveryMACMismatches - prev.RecoveryMACMismatches,
+		RecoveryNs:            s.RecoveryNs - prev.RecoveryNs,
 	}
 	return d
 }

@@ -342,4 +342,3 @@ func (b *Block) Equal(o *Block) bool {
 	}
 	return b.Minor == o.Minor
 }
-

@@ -238,7 +238,9 @@ func (k *Kernel) freeUnit(now, base uint64, info *PageInfo) (uint64, error) {
 	}
 	delete(k.pages, base)
 	if info.Huge {
-		k.alloc.FreeHuge(base)
+		if err := k.alloc.FreeHuge(base); err != nil {
+			return now, err
+		}
 	} else {
 		k.alloc.Free(base)
 	}

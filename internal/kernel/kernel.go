@@ -13,6 +13,7 @@ package kernel
 
 import (
 	"fmt"
+	"sort"
 
 	"lelantus/internal/core"
 	"lelantus/internal/mem"
@@ -209,6 +210,17 @@ func (k *Kernel) Process(pid Pid) *Process { return k.procs[pid] }
 
 // Live reports whether the pid names a live process.
 func (k *Kernel) Live(pid Pid) bool { return k.procs[pid] != nil }
+
+// Pids returns the live process IDs in ascending order (deterministic
+// iteration for verifiers walking every address space).
+func (k *Kernel) Pids() []Pid {
+	out := make([]Pid, 0, len(k.procs))
+	for pid := range k.procs {
+		out = append(out, pid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
 
 func (k *Kernel) isZeroFrame(pfn uint64, huge bool) bool {
 	if huge {

@@ -211,12 +211,18 @@ func (a *Allocator) Free(pfn uint64) {
 	a.free = append(a.free, pfn)
 }
 
+// ErrUnalignedHuge reports a FreeHuge of a base frame that is not 2 MB
+// aligned — a kernel accounting bug, surfaced as a typed error so it
+// propagates through Machine.Run instead of panicking.
+var ErrUnalignedHuge = errors.New("mem: FreeHuge of unaligned pfn")
+
 // FreeHuge returns a 2 MB run to the pool.
-func (a *Allocator) FreeHuge(basePFN uint64) {
+func (a *Allocator) FreeHuge(basePFN uint64) error {
 	if basePFN&(FramesPerHuge-1) != 0 {
-		panic(fmt.Sprintf("mem: FreeHuge of unaligned pfn %#x", basePFN))
+		return fmt.Errorf("%w: %#x", ErrUnalignedHuge, basePFN)
 	}
 	a.freeHuge = append(a.freeHuge, basePFN)
+	return nil
 }
 
 // InUse reports the number of frames handed out and not yet freed.

@@ -1,6 +1,7 @@
 package mem
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 )
@@ -158,7 +159,9 @@ func TestAllocHugeAlignment(t *testing.T) {
 func TestAllocHugeReuse(t *testing.T) {
 	a := NewAllocator(0, 4*FramesPerHuge)
 	h1, _ := a.AllocHuge()
-	a.FreeHuge(h1)
+	if err := a.FreeHuge(h1); err != nil {
+		t.Fatal(err)
+	}
 	h2, err := a.AllocHuge()
 	if err != nil || h2 != h1 {
 		t.Fatalf("freed huge run not reused: got %#x want %#x (%v)", h2, h1, err)
@@ -171,7 +174,9 @@ func TestHugeRunCannibalised(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a.FreeHuge(h)
+	if err := a.FreeHuge(h); err != nil {
+		t.Fatal(err)
+	}
 	// All 512 frames must now be allocatable individually.
 	for i := 0; i < FramesPerHuge; i++ {
 		if _, err := a.Alloc(); err != nil {
@@ -183,12 +188,12 @@ func TestHugeRunCannibalised(t *testing.T) {
 	}
 }
 
-func TestFreeHugeUnalignedPanics(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic for unaligned FreeHuge")
-		}
-	}()
+func TestFreeHugeUnalignedRejected(t *testing.T) {
 	a := NewAllocator(0, 2*FramesPerHuge)
-	a.FreeHuge(3)
+	if err := a.FreeHuge(3); !errors.Is(err, ErrUnalignedHuge) {
+		t.Fatalf("FreeHuge(3) = %v, want ErrUnalignedHuge", err)
+	}
+	if _, err := a.AllocHuge(); err != nil {
+		t.Fatalf("allocator must stay usable after a rejected free: %v", err)
+	}
 }

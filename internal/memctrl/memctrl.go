@@ -13,6 +13,7 @@ import (
 	"lelantus/internal/core"
 	"lelantus/internal/ctrcache"
 	"lelantus/internal/enc"
+	"lelantus/internal/faultinject"
 	"lelantus/internal/mem"
 	"lelantus/internal/nvm"
 )
@@ -49,6 +50,11 @@ type Config struct {
 	// controller and the device (paper Section IV-C: deferring copies lets
 	// the controller merge more writes in the request queue).
 	WriteQueue *nvm.QueueConfig
+
+	// FaultPlane, when non-nil, threads a deterministic fault-injection
+	// plane through every persist point of the engine (crash sweeps and
+	// torn-write experiments). nil costs one pointer compare per persist.
+	FaultPlane *faultinject.Plane
 }
 
 // DefaultConfig mirrors the paper's Table III plus Section V-A details.
@@ -130,6 +136,7 @@ func New(cfg Config) (*Controller, error) {
 		ctl.Queue = nvm.NewQueue(*cfg.WriteQueue, dev)
 		eng.Mem = ctl.Queue
 	}
+	eng.AttachFaultPlane(cfg.FaultPlane, cfg.WriteQueue != nil)
 	return ctl, nil
 }
 
@@ -349,17 +356,21 @@ func (c *Controller) ZeroPageFull(now, dst uint64, nonTemporal bool) (uint64, er
 	return done, nil
 }
 
-// Crash power-cycles the machine: all volatile state (data caches, counter
-// cache, CoW-mapping cache) disappears. With batteryBacked set, the
-// counter cache drains to NVM first — the paper's default assumption for
-// the write-back configuration. Without it, counter updates still sitting
-// in the cache are lost; affected lines are detected (MAC mismatch) on
-// their next read rather than silently corrupted.
-func (c *Controller) Crash(batteryBacked bool) {
+// Crash power-cycles the machine at simulated time now: all volatile state
+// (data caches, counter cache, CoW-mapping cache) disappears. With
+// batteryBacked set, the counter cache drains to NVM first — the paper's
+// default assumption for the write-back configuration — with every flush
+// issued at the crash timestamp, as the residual-energy burst would.
+// Without it, counter updates still sitting in the cache are lost; affected
+// lines are detected (MAC mismatch) on their next read rather than silently
+// corrupted.
+func (c *Controller) Crash(now uint64, batteryBacked bool) error {
 	if batteryBacked {
-		c.Engine.DrainMetadata()
+		if _, err := c.Engine.DrainMetadata(now); err != nil {
+			return err
+		}
 		if c.Queue != nil {
-			c.Queue.Flush(0)
+			c.Queue.Flush(now)
 		}
 	} else if c.Queue != nil {
 		// The volatile write queue's contents are lost; affected lines are
@@ -378,6 +389,12 @@ func (c *Controller) Crash(batteryBacked bool) {
 		ctrcache.New(ctrBytes, c.cfg.CtrCacheWays, c.cfg.CtrCacheMode, c.cfg.CtrCacheLatNs),
 		ctrcache.NewCoW(cowBytes),
 	)
+	return nil
+}
+
+// Recover runs the post-crash metadata scrub (see core.Engine.Recover).
+func (c *Controller) Recover() (*core.RecoveryReport, error) {
+	return c.Engine.Recover()
 }
 
 // Drain writes back all dirty cache and metadata state (end-of-run
@@ -389,7 +406,9 @@ func (c *Controller) Drain() error {
 			firstErr = err
 		}
 	})
-	c.Engine.DrainMetadata()
+	if _, err := c.Engine.DrainMetadata(0); err != nil && firstErr == nil {
+		firstErr = err
+	}
 	if c.Queue != nil {
 		c.Queue.Flush(0)
 	}

@@ -128,3 +128,33 @@ type GridJob = sim.GridJob
 // goroutines (<= 0 selects GOMAXPROCS) and returns results index-aligned
 // with the jobs: the output is byte-identical at any worker count.
 func RunGrid(jobs []GridJob, workers int) ([]Result, error) { return sim.RunGrid(jobs, workers) }
+
+// RecoveryReport summarises one post-crash metadata scrub (torn counter
+// blocks, rebuilt Merkle nodes, CoW-chain invariants, MAC mismatches and
+// the modeled recovery cost).
+type RecoveryReport = core.RecoveryReport
+
+// CrashCell is the outcome of one crash-sweep cell: a deterministic crash
+// at one persist point, an unbattery-backed power cycle, the recovery scrub
+// and its invariant-check verdict.
+type CrashCell = sim.CrashCell
+
+// CrashPoints counts the persist points a script exercises under cfg — the
+// index space CrashAt and CrashSweep enumerate.
+func CrashPoints(cfg Config, script Script, faultSeed int64) (uint64, error) {
+	return sim.CrashPoints(cfg, script, faultSeed)
+}
+
+// CrashAt runs the script, crashes deterministically at persist point n,
+// power-cycles without battery, recovers, and verifies that reads after
+// recovery are correct, detected, or consistently stale — never silently
+// wrong.
+func CrashAt(cfg Config, script Script, faultSeed int64, n uint64) (CrashCell, error) {
+	return sim.CrashAt(cfg, script, faultSeed, n)
+}
+
+// CrashSweep enumerates up to maxCells evenly strided crash points and
+// returns one CrashCell per point.
+func CrashSweep(cfg Config, script Script, faultSeed int64, maxCells int) ([]CrashCell, error) {
+	return sim.CrashSweep(cfg, script, faultSeed, maxCells)
+}
