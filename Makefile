@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-json-timing nopanic crash-sweep verify
+.PHONY: all build vet test race bench bench-json bench-json-timing nopanic crash-sweep probe-smoke verify
 
 all: verify
 
@@ -17,9 +17,10 @@ test:
 # code in the repository; -short keeps the race pass CI-sized while
 # still exercising every RunGrid path (the determinism tests run
 # multi-worker grids even in short mode). The crash-sweep tests run
-# their cells in parallel, so the fault plane rides along.
+# their cells in parallel, so the fault plane rides along; the probe
+# plane is per-machine state, so its sim-level tests ride too.
 race:
-	$(GO) test -race -short ./internal/sim/... ./internal/experiments/... ./internal/faultinject/...
+	$(GO) test -race -short ./internal/sim/... ./internal/experiments/... ./internal/faultinject/... ./internal/probe/...
 
 # No panic() may be reachable from the public Machine/Controller API:
 # internal-invariant failures surface as typed errors through Run.
@@ -32,6 +33,16 @@ nopanic:
 # invariant violations.
 crash-sweep:
 	$(GO) test -count=1 -run 'TestCrashSweep|TestCrashRecovery' ./internal/sim
+
+# Probe-plane smoke: run the unit/integration probe tests, then trace a
+# real forkbench run end-to-end through the CLI and validate the emitted
+# Chrome trace-event JSON with the built-in schema checker.
+probe-smoke:
+	$(GO) test -count=1 ./internal/probe ./internal/sim -run 'TestProbe|TestValidateTrace|TestWriteTrace'
+	$(GO) run ./cmd/lelantus-sim -workload forkbench -fidelity timing \
+	    -probe -probe-format=perfetto -probe-out /tmp/lelantus-probe-smoke.json >/dev/null
+	$(GO) run ./cmd/lelantus-sim -probe-check /tmp/lelantus-probe-smoke.json
+	@rm -f /tmp/lelantus-probe-smoke.json
 
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
@@ -61,4 +72,4 @@ bench-json-timing:
 	      -bench '^BenchmarkFig9$$' -benchtime 2x . ; } \
 	  | $(GO) run ./cmd/benchjson > BENCH_timing.json
 
-verify: build vet nopanic test race crash-sweep
+verify: build vet nopanic test race crash-sweep probe-smoke

@@ -8,6 +8,8 @@
 //	lelantus-sim -workload redis -all -parallel 4
 //	lelantus-sim -workload forkbench -faultseed 7 -faultpoints
 //	lelantus-sim -workload forkbench -faultseed 7 -crashpoint 120
+//	lelantus-sim -workload forkbench -probe -probe-format=perfetto -probe-out trace.json
+//	lelantus-sim -probe-check trace.json
 //	lelantus-sim -list
 package main
 
@@ -16,18 +18,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"lelantus"
+	"lelantus/internal/probe"
 	"lelantus/internal/trace"
 	"lelantus/internal/workload"
 )
 
-func fail(err error) {
+func fail(err error) int {
 	fmt.Fprintf(os.Stderr, "lelantus-sim: %v\n", err)
-	os.Exit(1)
+	return 1
 }
 
 func main() {
+	os.Exit(run())
+}
+
+// run carries the whole program so the profile-flushing defers execute on
+// every exit path (os.Exit in main would skip them).
+func run() int {
 	wl := flag.String("workload", "forkbench", "workload name (see -list)")
 	schemeName := flag.String("scheme", "lelantus", "baseline | silent-shredder | lelantus | lelantus-cow")
 	huge := flag.Bool("huge", false, "use 2MB huge pages")
@@ -45,85 +56,141 @@ func main() {
 	faultSeed := flag.Int64("faultseed", 1, "deterministic fault-injection seed (crash/tear decisions)")
 	crashPoint := flag.Uint64("crashpoint", 0, "crash at this persist point, power-cycle and print the recovery report (0 = off)")
 	faultPoints := flag.Bool("faultpoints", false, "count the script's persist points (the -crashpoint index space) and exit")
+	probeOn := flag.Bool("probe", false, "attach the observability plane and export it after the run")
+	probeOut := flag.String("probe-out", "probe.json", "file the probe export is written to")
+	probeFormat := flag.String("probe-format", "summary", "summary | perfetto (deterministic JSON summary, or a Chrome trace-event file for ui.perfetto.dev)")
+	probeSampleNs := flag.Uint64("probe-sample-ns", 1_000_000, "simulated-time interval between probe counter samples (0 = no time series)")
+	probeCheck := flag.String("probe-check", "", "validate a Perfetto trace file emitted with -probe-format=perfetto and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
 		for _, spec := range lelantus.Workloads() {
 			fmt.Printf("%-10s %s\n", spec.Name, spec.Description)
 		}
-		return
+		return 0
+	}
+	if *probeCheck != "" {
+		data, err := os.ReadFile(*probeCheck)
+		if err != nil {
+			return fail(err)
+		}
+		if err := probe.ValidateTrace(data); err != nil {
+			return fail(err)
+		}
+		fmt.Printf("%s: valid Chrome trace-event JSON (%d bytes)\n", *probeCheck, len(data))
+		return 0
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "lelantus-sim: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "lelantus-sim: %v\n", err)
+			}
+		}()
 	}
 
 	scheme, err := lelantus.ParseScheme(*schemeName)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	fidelity, err := lelantus.ParseFidelity(*fidelityName)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	var script workload.Script
 	if *replay != "" {
 		f, err := os.Open(*replay)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		script, err = trace.Read(f)
 		f.Close()
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 	} else {
 		spec, err := lelantus.WorkloadByName(*wl)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		script = spec.Build(*huge, *seed)
 	}
 	if *record != "" {
 		f, err := os.Create(*record)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if err := trace.Write(f, script); err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if err := f.Close(); err != nil {
-			fail(err)
+			return fail(err)
 		}
 		fmt.Printf("recorded %d ops to %s\n", len(script.Ops), *record)
-		return
+		return 0
 	}
 	if *disasm {
 		trace.Disassemble(os.Stdout, script, 40)
 	}
 	if *all {
-		runAll(script, *memMB, fidelity, *parallel, *asJSON)
-		return
+		if *probeOn {
+			return fail(fmt.Errorf("-probe traces a single machine; it cannot be combined with -all"))
+		}
+		return runAll(script, *memMB, fidelity, *parallel, *asJSON)
+	}
+
+	var pl *lelantus.Probe
+	if *probeOn {
+		switch *probeFormat {
+		case "summary", "perfetto":
+		default:
+			return fail(fmt.Errorf("unknown -probe-format %q (want summary or perfetto)", *probeFormat))
+		}
+		pl = lelantus.NewProbe(lelantus.ProbeConfig{SampleNs: *probeSampleNs})
 	}
 
 	cfg := lelantus.DefaultConfig(scheme)
 	cfg.Mem.MemBytes = *memMB << 20
 	cfg.Mem.Core.Fidelity = fidelity
+	cfg.Mem.Probe = pl
 
 	if *faultPoints {
 		n, err := lelantus.CrashPoints(cfg, script, *faultSeed)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		fmt.Printf("%d persist points (crash index space 1..%d)\n", n, n)
-		return
+		return 0
 	}
 	if *crashPoint > 0 {
 		cell, err := lelantus.CrashAt(cfg, script, *faultSeed, *crashPoint)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if *asJSON {
 			enc := json.NewEncoder(os.Stdout)
 			enc.SetIndent("", " ")
 			if err := enc.Encode(cell); err != nil {
-				fail(err)
+				return fail(err)
 			}
 		} else {
 			fmt.Printf("crashed at persist point %d (%v)\n", cell.Point, cell.At)
@@ -132,24 +199,27 @@ func main() {
 				fmt.Printf("VIOLATION: %s\n", v)
 			}
 		}
-		if len(cell.Violations) > 0 {
-			os.Exit(1)
+		if rc := exportProbe(pl, *probeOut, *probeFormat); rc != 0 {
+			return rc
 		}
-		return
+		if len(cell.Violations) > 0 {
+			return 1
+		}
+		return 0
 	}
 
 	res, err := lelantus.RunWith(cfg, script)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", " ")
 		if err := enc.Encode(res); err != nil {
-			fail(err)
+			return fail(err)
 		}
-		return
+		return exportProbe(pl, *probeOut, *probeFormat)
 	}
 
 	fmt.Printf("workload   %s\n", script.Name)
@@ -169,6 +239,9 @@ func main() {
 	fmt.Printf("counters   %d overflows, ctr-cache miss %.2f%%, cow-cache miss %.2f%%\n",
 		res.CtrOverflows, 100*res.CtrMissRate, 100*res.CoWMissRate)
 	fmt.Printf("traffic    %.2f%% copy/init share\n", 100*res.CopyInitShare)
+	if pl != nil {
+		fmt.Print(pl.Summary().String())
+	}
 
 	if *compare && scheme != lelantus.Baseline {
 		base, err := lelantus.RunWith(func() lelantus.Config {
@@ -178,16 +251,46 @@ func main() {
 			return c
 		}(), script)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		fmt.Printf("vs-baseline speedup %.2fx, writes cut to %.2f%%\n",
 			res.SpeedupVs(base), 100*res.WriteReductionVs(base))
 	}
+	return exportProbe(pl, *probeOut, *probeFormat)
+}
+
+// exportProbe writes the plane to out in the selected format; a nil plane
+// is a no-op so every exit path can call it unconditionally.
+func exportProbe(pl *lelantus.Probe, out, format string) int {
+	if pl == nil {
+		return 0
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return fail(err)
+	}
+	defer f.Close()
+	switch format {
+	case "perfetto":
+		err = pl.WriteTrace(f)
+	default:
+		var b []byte
+		if b, err = pl.MarshalJSONSummary(); err == nil {
+			b = append(b, '\n')
+			_, err = f.Write(b)
+		}
+	}
+	if err != nil {
+		return fail(err)
+	}
+	fmt.Fprintf(os.Stderr, "probe: wrote %s (%s, %d events recorded, %d retained, %d samples)\n",
+		out, format, pl.Summary().Recorded, pl.EventsRetained(), len(pl.Samples()))
+	return 0
 }
 
 // runAll fans the script out over every scheme on a worker pool; the
 // Baseline row (always index 0) anchors the speedup and write columns.
-func runAll(script workload.Script, memMB uint64, fidelity lelantus.Fidelity, parallel int, asJSON bool) {
+func runAll(script workload.Script, memMB uint64, fidelity lelantus.Fidelity, parallel int, asJSON bool) int {
 	schemes := lelantus.Schemes()
 	jobs := make([]lelantus.GridJob, len(schemes))
 	for i, s := range schemes {
@@ -198,15 +301,15 @@ func runAll(script workload.Script, memMB uint64, fidelity lelantus.Fidelity, pa
 	}
 	results, err := lelantus.RunGrid(jobs, parallel)
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", " ")
 		if err := enc.Encode(results); err != nil {
-			fail(err)
+			return fail(err)
 		}
-		return
+		return 0
 	}
 	base := results[0]
 	fmt.Printf("workload   %s\n", script.Name)
@@ -218,4 +321,5 @@ func runAll(script workload.Script, memMB uint64, fidelity lelantus.Fidelity, pa
 			s, float64(res.ExecNs)/1e6, res.NVMReads, res.NVMWrites,
 			res.SpeedupVs(base), 100*res.WriteReductionVs(base))
 	}
+	return 0
 }

@@ -6,6 +6,7 @@ import (
 	"lelantus/internal/ctr"
 	"lelantus/internal/faultinject"
 	"lelantus/internal/mem"
+	"lelantus/internal/probe"
 )
 
 // ErrSamePage is returned for a copy command whose source and destination
@@ -34,6 +35,17 @@ func (e *Engine) clearLinePrivacy(pfn uint64) {
 // chain short-circuit (Section III-E) records the source's own source, so
 // reclaiming the middle page never involves the grandchild.
 func (e *Engine) PageCopy(now, src, dst uint64) (uint64, error) {
+	if e.pr == nil {
+		return e.pageCopy(now, src, dst)
+	}
+	done, err := e.pageCopy(now, src, dst)
+	if err == nil {
+		e.pr.Record(probe.EvPageCopy, now, done, dst, src)
+	}
+	return done, err
+}
+
+func (e *Engine) pageCopy(now, src, dst uint64) (uint64, error) {
 	if src == dst {
 		return now, ErrSamePage
 	}
@@ -99,6 +111,17 @@ func (e *Engine) PageCopy(now, src, dst uint64) (uint64, error) {
 // Lelantus-CoW encode this as zero minors with no source mapping; Lelantus
 // points the page at the kernel's shared zero frame.
 func (e *Engine) PageInit(now, dst uint64) (uint64, error) {
+	if e.pr == nil {
+		return e.pageInit(now, dst)
+	}
+	done, err := e.pageInit(now, dst)
+	if err == nil {
+		e.pr.Record(probe.EvPageInit, now, done, dst, 0)
+	}
+	return done, err
+}
+
+func (e *Engine) pageInit(now, dst uint64) (uint64, error) {
 	if e.cfg.Scheme == Baseline {
 		return now, ErrUnsupported
 	}
@@ -140,6 +163,17 @@ func (e *Engine) PageInit(now, dst uint64) (uint64, error) {
 // copies are issued concurrently so bank-level parallelism and row buffers
 // are exploited, as the paper notes for reclamation-time copies.
 func (e *Engine) PagePhyc(now, src, dst uint64) (done uint64, copied int, err error) {
+	if e.pr == nil {
+		return e.pagePhyc(now, src, dst)
+	}
+	done, copied, err = e.pagePhyc(now, src, dst)
+	if err == nil {
+		e.pr.Record(probe.EvPagePhyc, now, done, dst, uint64(copied))
+	}
+	return done, copied, err
+}
+
+func (e *Engine) pagePhyc(now, src, dst uint64) (done uint64, copied int, err error) {
 	switch e.cfg.Scheme {
 	case Lelantus, LelantusCoW:
 	default:
@@ -235,6 +269,17 @@ func (e *Engine) PagePhyc(now, src, dst uint64) (done uint64, copied int, err er
 // copies simply never happen. The page's metadata enters a fresh epoch so
 // the recycled frame starts with zero-reading lines and unreused pads.
 func (e *Engine) PageFree(now, dst uint64) (uint64, error) {
+	if e.pr == nil {
+		return e.pageFree(now, dst)
+	}
+	done, err := e.pageFree(now, dst)
+	if err == nil {
+		e.pr.Record(probe.EvPageFree, now, done, dst, 0)
+	}
+	return done, err
+}
+
+func (e *Engine) pageFree(now, dst uint64) (uint64, error) {
 	switch e.cfg.Scheme {
 	case Lelantus, LelantusCoW, SilentShredder:
 	default:

@@ -6,6 +6,7 @@ import (
 	"lelantus/internal/ctr"
 	"lelantus/internal/faultinject"
 	"lelantus/internal/mem"
+	"lelantus/internal/probe"
 )
 
 // cowPresent is the presence bit of a supplementary CoW-table entry: the
@@ -146,7 +147,15 @@ func (e *Engine) resolve(now, lineAddr uint64) ([mem.LineBytes]byte, uint64, err
 func (e *Engine) ReadLine(now, lineAddr uint64) ([mem.LineBytes]byte, uint64, error) {
 	e.Stats.LogicalReads++
 	e.note(mem.PageOf(lineAddr), mem.LineIndex(lineAddr))
-	return e.resolve(now, lineAddr)
+	if e.pr == nil {
+		return e.resolve(now, lineAddr)
+	}
+	hops0 := e.Stats.ChainHops
+	data, done, err := e.resolve(now, lineAddr)
+	if err == nil {
+		e.pr.Record(probe.EvRead, now, done, lineAddr, e.Stats.ChainHops-hops0)
+	}
+	return data, done, err
 }
 
 // WriteLine services a 64 B write (store write-back or non-temporal store).
@@ -154,6 +163,17 @@ func (e *Engine) ReadLine(now, lineAddr uint64) ([mem.LineBytes]byte, uint64, er
 // in place: no copy of the stale source data ever happens — this is the
 // fine-granularity CoW at the heart of the design.
 func (e *Engine) WriteLine(now, lineAddr uint64, plain *[mem.LineBytes]byte) (uint64, error) {
+	if e.pr == nil {
+		return e.writeLine(now, lineAddr, plain)
+	}
+	done, err := e.writeLine(now, lineAddr, plain)
+	if err == nil {
+		e.pr.Record(probe.EvWrite, now, done, lineAddr, 0)
+	}
+	return done, err
+}
+
+func (e *Engine) writeLine(now, lineAddr uint64, plain *[mem.LineBytes]byte) (uint64, error) {
 	e.Stats.LogicalWrites++
 	pfn := mem.PageOf(lineAddr)
 	li := mem.LineIndex(lineAddr)
@@ -271,6 +291,7 @@ func (e *Engine) WriteLine(now, lineAddr uint64, plain *[mem.LineBytes]byte) (ui
 // under the new one and written back (paper Section V-C overhead analysis).
 func (e *Engine) reencryptPage(now, pfn uint64, blk *ctr.Block, skipLine int) (uint64, error) {
 	e.Stats.Overflows++
+	lines0 := e.Stats.ReencryptedLines
 	oldMajor := blk.Major
 	oldMinor := blk.Minor
 	reenc := blk.BumpMajor()
@@ -335,6 +356,9 @@ func (e *Engine) reencryptPage(now, pfn uint64, blk *ctr.Block, skipLine int) (u
 			done = wt
 		}
 	}
+	if e.pr != nil {
+		e.pr.Record(probe.EvOverflow, now, done, pfn, e.Stats.ReencryptedLines-lines0)
+	}
 	return done, nil
 }
 
@@ -356,12 +380,18 @@ func (e *Engine) peekCoWEntry(pfn uint64) (src uint64, present bool) {
 func (e *Engine) lookupCoW(now, pfn uint64) (src uint64, ok bool, done uint64) {
 	done = now + e.CtrCache.LatencyNs
 	if s, present, cached := e.CoWCache.Lookup(pfn); cached {
+		if e.pr != nil {
+			e.pr.Record(probe.EvCoWHit, now, done, pfn, 0)
+		}
 		return s, present, done
 	}
 	done = e.Mem.Read(done, e.cowMetaAddr(pfn))
 	e.Stats.CoWMetaReads++
 	s, present := e.peekCoWEntry(pfn)
 	e.CoWCache.Insert(pfn, s, present)
+	if e.pr != nil {
+		e.pr.Record(probe.EvCoWMiss, now, done, pfn, 0)
+	}
 	return s, present, done
 }
 

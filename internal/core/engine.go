@@ -34,6 +34,7 @@ import (
 	"lelantus/internal/faultinject"
 	"lelantus/internal/mem"
 	"lelantus/internal/nvm"
+	"lelantus/internal/probe"
 )
 
 // Scheme selects which CoW design the engine runs.
@@ -251,6 +252,11 @@ type Engine struct {
 	fi          *faultinject.Plane
 	fiDataPoint faultinject.Point
 
+	// pr is the optional observability plane; nil costs one pointer compare
+	// per emission site (the hot path stays allocation-free — gated by
+	// TestProbeDisabledAllocFree).
+	pr *probe.Plane
+
 	// written marks lines that have ever been encrypted to NVM; reads of
 	// never-written lines return zeros (fresh memory). Dense bitset, one
 	// bit per data line — consulted on every read and set on every write.
@@ -310,13 +316,29 @@ func (e *Engine) AttachFaultPlane(p *faultinject.Plane, queueFronted bool) {
 	}
 }
 
+// AttachProbe wires the observability plane into every emission site. A nil
+// plane (the default) keeps every site a single pointer compare.
+func (e *Engine) AttachProbe(p *probe.Plane) {
+	e.pr = p
+}
+
+// Probe returns the attached observability plane (nil when disabled).
+func (e *Engine) Probe() *probe.Plane { return e.pr }
+
 // fiHit consults the fault plane at a named persist point. With no plane
 // attached this is a single nil compare.
 func (e *Engine) fiHit(pt faultinject.Point) faultinject.Decision {
 	if e.fi == nil {
 		return faultinject.Decision{}
 	}
-	return e.fi.Hit(pt)
+	dec := e.fi.Hit(pt)
+	if e.pr != nil && dec.Action != faultinject.ActNone {
+		// Fault decisions fire inside byte-level persist helpers whose time is
+		// charged by their caller, so the event is stamped at the plane's
+		// high-water simulated time.
+		e.pr.RecordAt(probe.EvFault, 0, uint64(pt))
+	}
+	return dec
 }
 
 // tornLineWrite applies the first keepWords 8-byte words of img on top of
@@ -384,6 +406,9 @@ func (e *Engine) ensureInit(pfn uint64) error {
 func (e *Engine) loadBlock(now, pfn uint64) (ctr.Block, uint64, error) {
 	done := now + e.CtrCache.LatencyNs
 	if blk := e.CtrCache.Get(pfn); blk != nil {
+		if e.pr != nil {
+			e.pr.Record(probe.EvCtrHit, now, done, pfn, 0)
+		}
 		return *blk, done, nil
 	}
 	if err := e.ensureInit(pfn); err != nil {
@@ -399,10 +424,16 @@ func (e *Engine) loadBlock(now, pfn uint64) (ctr.Block, uint64, error) {
 		if err := e.Tree.Verify(pfn, raw[:]); err != nil {
 			return ctr.Block{}, done, err
 		}
+		if e.pr != nil {
+			e.pr.Record(probe.EvBMTVerify, done-e.cfg.VerifyNs, done, pfn, 0)
+		}
 	}
 	var blk ctr.Block
 	if err := ctr.UnpackInto(&raw, e.cfg.Scheme.Format(), &blk); err != nil {
 		return ctr.Block{}, done, err
+	}
+	if e.pr != nil {
+		e.pr.Record(probe.EvCtrMiss, now, done, pfn, 0)
 	}
 	// The fill's victim write-back proceeds in the background: the demand
 	// read does not wait on it, so its completion time is not propagated.
@@ -419,7 +450,11 @@ func (e *Engine) loadBlock(now, pfn uint64) (ctr.Block, uint64, error) {
 func (e *Engine) installBlock(now, pfn uint64, blk ctr.Block) (uint64, error) {
 	victim, needWB := e.CtrCache.Put(pfn, blk)
 	if needWB {
-		return e.persistBlock(now, victim.Page, &victim.Blk)
+		done, err := e.persistBlock(now, victim.Page, &victim.Blk)
+		if e.pr != nil && err == nil {
+			e.pr.Record(probe.EvCtrEvict, now, done, victim.Page, 0)
+		}
+		return done, err
 	}
 	return now, nil
 }
@@ -463,6 +498,12 @@ func (e *Engine) persistBlock(now, pfn uint64, blk *ctr.Block) (uint64, error) {
 			return done, nil
 		}
 		e.Tree.Update(pfn, raw[:])
+		if e.pr != nil {
+			// Leaf-digest refreshes are on-chip SRAM updates with no modeled
+			// latency of their own: an instant marker at the persist's
+			// completion keeps them visible without inventing time.
+			e.pr.Record(probe.EvBMTUpdate, done, done, pfn, 0)
+		}
 	}
 	return done, nil
 }

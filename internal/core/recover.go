@@ -6,6 +6,7 @@ import (
 
 	"lelantus/internal/ctr"
 	"lelantus/internal/mem"
+	"lelantus/internal/probe"
 )
 
 // reportListCap bounds the per-item lists embedded in a RecoveryReport so a
@@ -218,5 +219,23 @@ func (e *Engine) Recover() (*RecoveryReport, error) {
 	e.Stats.RecoveryLinesScrubbed += rep.LinesScrubbed
 	e.Stats.RecoveryMACMismatches += rep.MACMismatches
 	e.Stats.RecoveryNs += rep.RecoveryNs
+
+	if e.pr != nil {
+		// One span per scrub pass, laid end to end from the plane's
+		// high-water simulated time using the same modeled per-pass costs
+		// that make up RecoveryNs (pass 3 is a pure in-memory walk with no
+		// modeled device cost, so it appears as an instant marker).
+		t := e.pr.LastNs()
+		passes := [4]struct{ dur, n uint64 }{
+			{rep.BlocksScanned * (devCfg.ReadNs + e.cfg.VerifyNs), rep.BlocksScanned},
+			{rep.NodesRebuilt * e.cfg.VerifyNs, rep.NodesRebuilt},
+			{0, rep.CoWChains},
+			{rep.LinesScrubbed * (devCfg.ReadNs + e.cfg.VerifyNs), rep.LinesScrubbed},
+		}
+		for i, p := range passes {
+			e.pr.Record(probe.EvRecovery, t, t+p.dur, uint64(i+1), p.n)
+			t += p.dur
+		}
+	}
 	return rep, nil
 }

@@ -1,7 +1,16 @@
 package core
 
 // Sub returns the field-wise difference s - prev, used to isolate the
-// measured phase of a run.
+// measured phase of a run. Every numeric field must appear here — a newly
+// added counter that is not differenced silently vanishes from
+// phase-isolated diffs; TestStatsSubCoversAllFields enforces the coverage
+// by reflection.
+//
+// MaxChain is intentionally NOT differenced: it is a running maximum, not a
+// monotone counter, so "s - prev" has no meaning for it. The diff keeps the
+// whole-run maximum, which upper-bounds the phase's maximum (the hop that
+// set it may have happened in either phase; the simulator does not record
+// when).
 func (s Stats) Sub(prev Stats) Stats {
 	d := Stats{
 		LogicalReads:      s.LogicalReads - prev.LogicalReads,

@@ -14,6 +14,7 @@ import (
 
 	"lelantus/internal/core"
 	"lelantus/internal/ctrcache"
+	"lelantus/internal/probe"
 	"lelantus/internal/sim"
 	"lelantus/internal/stats"
 	"lelantus/internal/workload"
@@ -39,6 +40,12 @@ type Options struct {
 	// elides it with identical statistics. Reports are byte-identical under
 	// both (pinned by TestFidelityQuickGridEquivalence).
 	Fidelity core.Fidelity
+	// Probe, when non-nil, attaches a fresh observability plane (sized by
+	// this config) to every machine the experiments build. Each grid cell
+	// gets its own plane, so parallel runs never share one; the planes are
+	// reachable afterwards only for runs built through machineConfig by the
+	// caller (RunOne-style single runs) — grid reports ignore them.
+	Probe *probe.Config
 
 	// scripts interns generated workload scripts across the experiments of
 	// one option set (set by DefaultOptions; nil just disables sharing).
@@ -90,6 +97,9 @@ func (o Options) machineConfig(scheme core.Scheme, mutate func(*sim.Config)) sim
 	cfg := sim.DefaultConfig(scheme)
 	cfg.Mem.MemBytes = o.memBytes()
 	cfg.Mem.Core.Fidelity = o.Fidelity
+	if o.Probe != nil {
+		cfg.Mem.Probe = probe.New(*o.Probe)
+	}
 	if mutate != nil {
 		mutate(&cfg)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"lelantus/internal/core"
 	"lelantus/internal/mem"
+	"lelantus/internal/probe"
 )
 
 // allocUnit allocates one mapping unit (4 KB frame or 2 MB run).
@@ -48,19 +49,32 @@ func (k *Kernel) wpFault(now uint64, p *Process, vma *VMA, pte *PTE, va uint64) 
 	// The fix-up changes the translation (frame and/or permissions).
 	p.TLB.Invalidate(vpnOf(vma, va), vma.Huge)
 
+	var (
+		done uint64
+		err  error
+		kind uint64
+	)
 	switch {
 	case k.isZeroFrame(pte.PFN, vma.Huge):
-		return k.zeroFault(now, vma, pte, unitBase)
+		kind = probe.KernZeroFault
+		done, err = k.zeroFault(now, vma, pte, unitBase)
 	default:
 		info := k.pages[pte.PFN]
 		if info == nil {
 			return now, fmt.Errorf("kernel: write-protected frame %#x has no page info", pte.PFN)
 		}
 		if info.MapCount > 1 {
-			return k.cowFault(now, vma, pte, info, unitBase)
+			kind = probe.KernCoWFault
+			done, err = k.cowFault(now, vma, pte, info, unitBase)
+		} else {
+			kind = probe.KernReuseFault
+			done, err = k.reuseFault(now, pte, info)
 		}
-		return k.reuseFault(now, pte, info)
 	}
+	if k.pr != nil && err == nil {
+		k.pr.Record(probe.EvKernelFault, start, done, unitBase, kind)
+	}
+	return done, err
 }
 
 // zeroFault materialises a demand-zero unit: a fresh frame that must read

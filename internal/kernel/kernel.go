@@ -18,6 +18,7 @@ import (
 	"lelantus/internal/core"
 	"lelantus/internal/mem"
 	"lelantus/internal/memctrl"
+	"lelantus/internal/probe"
 	"lelantus/internal/tlb"
 )
 
@@ -147,6 +148,10 @@ type Kernel struct {
 
 	retiredTLBWalks uint64
 
+	// pr mirrors the controller's observability plane (nil when disabled;
+	// one pointer compare per fault).
+	pr *probe.Plane
+
 	Stats Stats
 }
 
@@ -173,6 +178,7 @@ func New(cfg Config, ctl *memctrl.Controller) (*Kernel, error) {
 		zeroPFN:     zero,
 		hugeZeroPFN: hugeZero,
 		nextPid:     1,
+		pr:          ctl.Probe(),
 	}
 	ctl.Engine.ZeroPFN = zero
 	return k, nil

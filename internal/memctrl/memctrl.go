@@ -16,6 +16,7 @@ import (
 	"lelantus/internal/faultinject"
 	"lelantus/internal/mem"
 	"lelantus/internal/nvm"
+	"lelantus/internal/probe"
 )
 
 // Context classifies why a memory request was issued, so the share of
@@ -55,6 +56,11 @@ type Config struct {
 	// plane through every persist point of the engine (crash sweeps and
 	// torn-write experiments). nil costs one pointer compare per persist.
 	FaultPlane *faultinject.Plane
+
+	// Probe, when non-nil, threads the observability plane through every
+	// engine emission site and wires its periodic sampler to the machine's
+	// cache/device/tree counters. nil costs one pointer compare per site.
+	Probe *probe.Plane
 }
 
 // DefaultConfig mirrors the paper's Table III plus Section V-A details.
@@ -137,8 +143,37 @@ func New(cfg Config) (*Controller, error) {
 		eng.Mem = ctl.Queue
 	}
 	eng.AttachFaultPlane(cfg.FaultPlane, cfg.WriteQueue != nil)
+	eng.AttachProbe(cfg.Probe)
+	if cfg.Probe != nil {
+		// The sampler reads through the controller so it tracks the *current*
+		// caches even after Crash swaps them (ResetVolatile replaces the
+		// counter/CoW caches, Crash rebuilds the hierarchy and queue).
+		cfg.Probe.SetSampler(func(now uint64, s *probe.Sample) {
+			s.CtrHits = ctl.Engine.CtrCache.Hits
+			s.CtrMisses = ctl.Engine.CtrCache.Misses
+			s.CoWHits = ctl.Engine.CoWCache.Hits
+			s.CoWMisses = ctl.Engine.CoWCache.Misses
+			s.L3Hits = ctl.Caches.L3.Hits
+			s.L3Misses = ctl.Caches.L3.Misses
+			s.DevReads = dev.Reads
+			s.DevWrites = dev.Writes
+			s.ReadBusyNs = dev.ReadBusyNs
+			s.WriteBusyNs = dev.WriteBusy
+			s.BMTUpdates = tree.Updates
+			s.BMTVerifies = tree.Verifies()
+			if ctl.Queue != nil {
+				s.QueueOcc = ctl.Queue.Occupancy()
+			}
+		})
+		if cfg.WriteQueue != nil {
+			cfg.Probe.SetQueueOcc(func() int { return ctl.Queue.Occupancy() })
+		}
+	}
 	return ctl, nil
 }
+
+// Probe returns the attached observability plane (nil when disabled).
+func (c *Controller) Probe() *probe.Plane { return c.Engine.Probe() }
 
 // Config returns the subsystem configuration.
 func (c *Controller) Config() Config { return c.cfg }

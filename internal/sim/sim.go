@@ -10,6 +10,7 @@ import (
 	"lelantus/internal/kernel"
 	"lelantus/internal/mem"
 	"lelantus/internal/memctrl"
+	"lelantus/internal/probe"
 	"lelantus/internal/workload"
 )
 
@@ -112,6 +113,10 @@ func NewMachine(cfg Config) (*Machine, error) {
 
 // Now returns the machine clock in nanoseconds.
 func (m *Machine) Now() uint64 { return m.now }
+
+// Probe returns the machine's observability plane (nil when the machine was
+// built without one; see memctrl.Config.Probe).
+func (m *Machine) Probe() *probe.Plane { return m.Ctl.Probe() }
 
 // Pid resolves a script process slot to its kernel pid.
 func (m *Machine) Pid(slot int) kernel.Pid { return m.procs[slot] }

@@ -34,6 +34,7 @@ package lelantus
 
 import (
 	"lelantus/internal/core"
+	"lelantus/internal/probe"
 	"lelantus/internal/sim"
 	"lelantus/internal/workload"
 )
@@ -158,3 +159,16 @@ func CrashAt(cfg Config, script Script, faultSeed int64, n uint64) (CrashCell, e
 func CrashSweep(cfg Config, script Script, faultSeed int64, maxCells int) ([]CrashCell, error) {
 	return sim.CrashSweep(cfg, script, faultSeed, maxCells)
 }
+
+// Probe is the simulated-time observability plane: a bounded ring of typed
+// events, per-class latency histograms, chain-depth/queue-occupancy
+// distributions and periodic counter samples, exportable as a deterministic
+// JSON summary or a Chrome trace-event / Perfetto trace. Attach one via
+// Config.Mem.Probe before NewMachine; a nil plane is free.
+type Probe = probe.Plane
+
+// ProbeConfig sizes a probe plane (ring capacity, sampling interval).
+type ProbeConfig = probe.Config
+
+// NewProbe creates an enabled observability plane.
+func NewProbe(cfg ProbeConfig) *Probe { return probe.New(cfg) }
