@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-json-timing nopanic crash-sweep probe-smoke verify
+.PHONY: all build vet test race bench bench-json bench-json-timing nopanic crash-sweep probe-smoke persist-matrix verify
 
 all: verify
 
@@ -29,10 +29,20 @@ nopanic:
 	    || (echo 'panic() reachable from the public API'; exit 1)
 
 # Crash-point enumeration smoke: crash at strided persist points across
-# every scheme and counter-cache mode, recover, and require zero
-# invariant violations.
+# every scheme, counter-cache mode and persistence strategy, recover, and
+# require zero invariant violations.
 crash-sweep:
 	$(GO) test -count=1 -run 'TestCrashSweep|TestCrashRecovery' ./internal/sim
+
+# Persistence-strategy matrix: the strict strategy must be byte-identical
+# to the historical default, relaxed strategies must trade runtime write
+# overhead for recovery time (engine-, sim- and harness-level pins), and
+# the per-pass RecoveryNs formula must hold for every strategy.
+persist-matrix:
+	$(GO) test -count=1 ./internal/core -run 'TestPersistStrategy|TestParsePersist'
+	$(GO) test -count=1 ./internal/memctrl -run 'TestRecoveryNsFormulaPerPass|TestDrainIssuesAtCurrentTime|TestBatteryDrainPreservesLazyCoWMapping'
+	$(GO) test -count=1 ./internal/sim -run 'TestStrictPersistEquivalence|TestPersistTradeoff|TestProbeRecoveryEventsPerStrategy'
+	$(GO) test -count=1 ./internal/experiments -run 'TestPersistMatrixTradeoff'
 
 # Probe-plane smoke: run the unit/integration probe tests, then trace a
 # real forkbench run end-to-end through the CLI and validate the emitted
@@ -72,4 +82,4 @@ bench-json-timing:
 	      -bench '^BenchmarkFig9$$' -benchtime 2x . ; } \
 	  | $(GO) run ./cmd/benchjson > BENCH_timing.json
 
-verify: build vet nopanic test race crash-sweep probe-smoke
+verify: build vet nopanic test race crash-sweep persist-matrix probe-smoke

@@ -41,6 +41,7 @@ func run() int {
 	memMB := flag.Uint64("mem", 512, "simulated NVM capacity in MiB")
 	parallel := flag.Int("parallel", 0, "worker pool for independent simulation runs (0 = all CPUs); reports are byte-identical at any setting")
 	fidelity := flag.String("fidelity", "auto", "full | timing | auto (timing for '-exp all', full otherwise); reports are byte-identical either way")
+	persistName := flag.String("persist", "strict", "metadata persistence strategy: strict | phoenix | triad:N (persist-matrix overrides per cell)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
@@ -74,6 +75,12 @@ func run() int {
 		}
 		o.Fidelity = f
 	}
+	persist, err := lelantus.ParsePersist(*persistName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lelantus-bench: %v\n", err)
+		return 2
+	}
+	o.Persist = persist
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -104,7 +111,6 @@ func run() int {
 
 	start := time.Now()
 	var reports []*experiments.Report
-	var err error
 	if *exp == "all" {
 		reports, err = experiments.All(o)
 	} else {

@@ -8,6 +8,7 @@
 //	lelantus-sim -workload redis -all -parallel 4
 //	lelantus-sim -workload forkbench -faultseed 7 -faultpoints
 //	lelantus-sim -workload forkbench -faultseed 7 -crashpoint 120
+//	lelantus-sim -workload forkbench -scheme lelantus-cow -persist phoenix
 //	lelantus-sim -workload forkbench -probe -probe-format=perfetto -probe-out trace.json
 //	lelantus-sim -probe-check trace.json
 //	lelantus-sim -list
@@ -45,6 +46,7 @@ func run() int {
 	seed := flag.Int64("seed", 1, "workload generator seed")
 	memMB := flag.Uint64("mem", 512, "simulated NVM capacity in MiB")
 	fidelityName := flag.String("fidelity", "full", "full | timing (timing elides the crypto data plane; measurements are identical)")
+	persistName := flag.String("persist", "strict", "metadata persistence strategy: strict | phoenix | triad:N")
 	compare := flag.Bool("compare", false, "also run the baseline and report speedup")
 	all := flag.Bool("all", false, "run the workload under every scheme and compare")
 	parallel := flag.Int("parallel", 0, "worker pool for -all (0 = all CPUs); output is identical at any setting")
@@ -116,6 +118,10 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
+	persist, err := lelantus.ParsePersist(*persistName)
+	if err != nil {
+		return fail(err)
+	}
 	var script workload.Script
 	if *replay != "" {
 		f, err := os.Open(*replay)
@@ -155,7 +161,7 @@ func run() int {
 		if *probeOn {
 			return fail(fmt.Errorf("-probe traces a single machine; it cannot be combined with -all"))
 		}
-		return runAll(script, *memMB, fidelity, *parallel, *asJSON)
+		return runAll(script, *memMB, fidelity, persist, *parallel, *asJSON)
 	}
 
 	var pl *lelantus.Probe
@@ -171,6 +177,7 @@ func run() int {
 	cfg := lelantus.DefaultConfig(scheme)
 	cfg.Mem.MemBytes = *memMB << 20
 	cfg.Mem.Core.Fidelity = fidelity
+	cfg.Mem.Core.Persist = persist
 	cfg.Mem.Probe = pl
 
 	if *faultPoints {
@@ -248,6 +255,7 @@ func run() int {
 			c := lelantus.DefaultConfig(lelantus.Baseline)
 			c.Mem.MemBytes = *memMB << 20
 			c.Mem.Core.Fidelity = fidelity
+			c.Mem.Core.Persist = persist
 			return c
 		}(), script)
 		if err != nil {
@@ -290,13 +298,14 @@ func exportProbe(pl *lelantus.Probe, out, format string) int {
 
 // runAll fans the script out over every scheme on a worker pool; the
 // Baseline row (always index 0) anchors the speedup and write columns.
-func runAll(script workload.Script, memMB uint64, fidelity lelantus.Fidelity, parallel int, asJSON bool) int {
+func runAll(script workload.Script, memMB uint64, fidelity lelantus.Fidelity, persist lelantus.PersistStrategy, parallel int, asJSON bool) int {
 	schemes := lelantus.Schemes()
 	jobs := make([]lelantus.GridJob, len(schemes))
 	for i, s := range schemes {
 		cfg := lelantus.DefaultConfig(s)
 		cfg.Mem.MemBytes = memMB << 20
 		cfg.Mem.Core.Fidelity = fidelity
+		cfg.Mem.Core.Persist = persist
 		jobs[i] = lelantus.GridJob{Tag: s.String(), Config: cfg, Script: script}
 	}
 	results, err := lelantus.RunGrid(jobs, parallel)

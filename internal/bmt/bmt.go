@@ -119,10 +119,12 @@ func New(key []byte, nBlocks uint64) *Tree {
 // timing-only fidelity (core.FidelityTiming): Update and Verify keep
 // their operation counters and the leaf-to-root dirty-path bookkeeping —
 // the propagation work a flush would schedule is byte-identically
-// accounted — but no HMAC is ever computed and no node is stored.
-// Verification always succeeds, so this must never be used where
-// integrity results matter (the machine-wide fidelity knob guarantees
-// security-invariant tests run with hashing enabled).
+// accounted — but no HMAC is ever computed and no inner node is stored.
+// Leaf *presence* is still recorded (a zero digest per updated leaf), so
+// the recovery rebuild reports byte-identical per-level node counts under
+// both fidelities. Verification always succeeds, so this must never be
+// used where integrity results matter (the machine-wide fidelity knob
+// guarantees security-invariant tests run with hashing enabled).
 func (t *Tree) DisableHashing() { t.accountingOnly = true }
 
 // finish finalises the running MAC into the scratch buffer and returns it.
@@ -176,7 +178,9 @@ func (t *Tree) recomputeInner(level int, idx uint64) [hashSize]byte {
 // drain, neighbouring pages) share one propagation pass.
 func (t *Tree) Update(idx uint64, raw []byte) {
 	t.Updates++
-	if !t.accountingOnly {
+	if t.accountingOnly {
+		t.nodes[0][idx] = [hashSize]byte{} // presence only: drives the rebuild counts
+	} else {
 		t.nodes[0][idx] = t.leafHash(idx, raw)
 	}
 	t.pending = true
@@ -289,16 +293,27 @@ func (t *Tree) VerifyLeaf(idx uint64, raw []byte) error {
 // volatile on-chip state, so recovery recomputes it bottom-up instead of
 // persisting every inner-node update during normal operation. Any pending
 // lazy propagation is superseded. Returns the number of inner nodes
-// rebuilt (0 in accounting-only mode, which stores no digests).
+// rebuilt.
 func (t *Tree) RebuildFromLeaves() uint64 {
+	var rebuilt uint64
+	for _, n := range t.RebuildFromLeavesByLevel() {
+		rebuilt += n
+	}
+	return rebuilt
+}
+
+// RebuildFromLeavesByLevel is RebuildFromLeaves with per-level accounting:
+// element i counts the nodes rebuilt at inner level i+1 (level 0 being the
+// leaf digests). Leveled persistence strategies (Triad-NVM) charge durable
+// and rebuilt levels differently, so recovery needs the breakdown. In
+// accounting-only mode no hash is computed, but the counts (driven by leaf
+// presence, which Update records in both modes) are byte-identical.
+func (t *Tree) RebuildFromLeavesByLevel() []uint64 {
 	for l := 1; l < t.levels; l++ {
 		clear(t.dirty[l])
 	}
 	t.pending = false
-	if t.accountingOnly {
-		return 0
-	}
-	var rebuilt uint64
+	counts := make([]uint64, t.levels-1)
 	for l := 1; l < t.levels; l++ {
 		fresh := make(map[uint64][hashSize]byte, len(t.nodes[l-1])/Arity+1)
 		for child := range t.nodes[l-1] {
@@ -306,14 +321,40 @@ func (t *Tree) RebuildFromLeaves() uint64 {
 			if _, done := fresh[parent]; done {
 				continue
 			}
-			fresh[parent] = t.recomputeInner(l, parent)
-			rebuilt++
+			if t.accountingOnly {
+				fresh[parent] = [hashSize]byte{}
+			} else {
+				fresh[parent] = t.recomputeInner(l, parent)
+			}
+			counts[l-1]++
 		}
 		t.nodes[l] = fresh
 	}
-	t.root = t.nodeHash(t.levels-1, 0)
-	return rebuilt
+	if !t.accountingOnly {
+		t.root = t.nodeHash(t.levels-1, 0)
+	}
+	return counts
 }
+
+// ResetLeaf overwrites counter block idx's stored leaf digest with one
+// recomputed from raw — the recovery path for persistence levels that do
+// not persist leaf digests (Triad-NVM counters-only): whatever bytes the
+// NVM image holds are adopted as ground truth, and a torn counter write is
+// left for the data-MAC scrub or a later read to flag. Dirty-path
+// bookkeeping is untouched: callers follow up with RebuildFromLeaves,
+// which supersedes any pending propagation. Accounting-only trees record
+// presence without hashing.
+func (t *Tree) ResetLeaf(idx uint64, raw []byte) {
+	if t.accountingOnly {
+		t.nodes[0][idx] = [hashSize]byte{}
+		return
+	}
+	t.nodes[0][idx] = t.leafHash(idx, raw)
+}
+
+// Levels returns the tree's level count, including the leaf-digest level
+// (level 0) and the root's level.
+func (t *Tree) Levels() int { return t.levels }
 
 // macPageLines groups per-line MACs into fixed 64-line pages (one 4 KB data
 // page's worth), so the store is a dense two-level table instead of a map:

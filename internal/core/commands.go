@@ -69,7 +69,7 @@ func (e *Engine) pageCopy(now, src, dst uint64) (uint64, error) {
 		}
 	case LelantusCoW:
 		if blkSrc.UncopiedCount() == ctr.LinesPerPage {
-			if s, ok := e.peekCoWEntry(src); ok {
+			if s, ok := e.cowEntryView(src); ok {
 				actual = s
 			}
 		}
@@ -192,8 +192,11 @@ func (e *Engine) pagePhyc(now, src, dst uint64) (done uint64, copied int, err er
 			return t, 0, nil
 		}
 	case LelantusCoW:
-		s, ok, tc := e.lookupCoW(t, dst)
+		s, ok, tc, lerr := e.lookupCoW(t, dst)
 		t = tc
+		if lerr != nil {
+			return t, 0, lerr
+		}
 		if !ok || s != src {
 			return t, 0, nil
 		}
@@ -298,7 +301,7 @@ func (e *Engine) pageFree(now, dst uint64) (uint64, error) {
 		}
 		blk.ClearCoW()
 	case LelantusCoW:
-		if _, ok := e.peekCoWEntry(dst); ok {
+		if _, ok := e.cowEntryView(dst); ok {
 			e.Stats.ElidedLines += uint64(blk.UncopiedCount())
 		}
 		if t, err = e.storeCoWMapping(t, dst, 0, false); err != nil {

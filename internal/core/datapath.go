@@ -75,8 +75,11 @@ func (e *Engine) resolve(now, lineAddr uint64) ([mem.LineBytes]byte, uint64, err
 			}
 		case LelantusCoW:
 			if blk.Minor[i] == 0 {
-				src, ok, tc := e.lookupCoW(t, curPfn)
+				src, ok, tc, lerr := e.lookupCoW(t, curPfn)
 				t = tc
+				if lerr != nil {
+					return zeroLine, t, lerr
+				}
 				if !ok {
 					// Zero minor with no mapping: a fresh (page_init) or
 					// never-encrypted line — fresh memory reads as zeros.
@@ -203,7 +206,7 @@ func (e *Engine) writeLine(now, lineAddr uint64, plain *[mem.LineBytes]byte) (ui
 		}
 	case LelantusCoW:
 		if wasZero {
-			if _, ok := e.peekCoWEntry(pfn); ok {
+			if _, ok := e.cowEntryView(pfn); ok {
 				e.Stats.CopiedOnDemand++
 			}
 		}
@@ -374,50 +377,61 @@ func (e *Engine) peekCoWEntry(pfn uint64) (src uint64, present bool) {
 	return v &^ cowPresent, v&cowPresent != 0
 }
 
+// cowEntryView returns the controller's *intended* CoW mapping for a page.
+// Under a lazy persistence strategy the CoW cache legitimately runs ahead
+// of NVM (dirty inserts not yet written back), so command decisions and
+// introspection consult the cache first; under eager write-through the
+// durable bytes are authoritative and the historical code path is kept
+// bit-exact. Side-effect free either way.
+func (e *Engine) cowEntryView(pfn uint64) (src uint64, present bool) {
+	if !e.strategy().EagerCoWMeta() {
+		if s, p, cached := e.CoWCache.Peek(pfn); cached {
+			return s, p
+		}
+	}
+	return e.peekCoWEntry(pfn)
+}
+
 // lookupCoW consults the supplementary CoW table (Lelantus-CoW) for the
 // destination page's source mapping, going through the reserved CoW cache
-// first and charging an NVM metadata read on a miss.
-func (e *Engine) lookupCoW(now, pfn uint64) (src uint64, ok bool, done uint64) {
+// first and charging an NVM metadata read on a miss. Filling the missed
+// entry can displace a dirty mapping under lazy persistence; its write-back
+// is issued here (in the background — the demand lookup does not wait on
+// it) and only a fault-plane crash in that write-back surfaces as error.
+func (e *Engine) lookupCoW(now, pfn uint64) (src uint64, ok bool, done uint64, err error) {
 	done = now + e.CtrCache.LatencyNs
 	if s, present, cached := e.CoWCache.Lookup(pfn); cached {
 		if e.pr != nil {
 			e.pr.Record(probe.EvCoWHit, now, done, pfn, 0)
 		}
-		return s, present, done
+		return s, present, done, nil
 	}
 	done = e.Mem.Read(done, e.cowMetaAddr(pfn))
 	e.Stats.CoWMetaReads++
 	s, present := e.peekCoWEntry(pfn)
-	e.CoWCache.Insert(pfn, s, present)
+	if v, wb := e.CoWCache.Insert(pfn, s, present); wb {
+		if _, werr := e.writeCoWEntryNVM(done, v.Dst, v.Src, v.Present); werr != nil {
+			return 0, false, done, werr
+		}
+	}
 	if e.pr != nil {
 		e.pr.Record(probe.EvCoWMiss, now, done, pfn, 0)
 	}
-	return s, present, done
+	return s, present, done, nil
 }
 
-// storeCoWMapping updates the supplementary CoW-metadata region (and its
-// cache slice). present=false erases the mapping. The entry write goes
-// through the cow-meta-write fault point: an 8-byte entry is word-atomic
-// on the device, so a "tear" of the surrounding 64 B line either lands the
-// entry or leaves the old one — never half a PFN.
-func (e *Engine) storeCoWMapping(now, dst, src uint64, present bool) (uint64, error) {
-	if !present {
-		if _, had := e.peekCoWEntry(dst); !had {
-			return now, nil
-		}
-	}
-	// The cache slice holds the controller's intended view; it may run
-	// ahead of NVM if the fault plane loses the write below.
-	if present {
-		e.CoWCache.Insert(dst, src, true)
-	} else {
-		e.CoWCache.Insert(dst, 0, false)
-	}
+// writeCoWEntryNVM persists one supplementary CoW-table entry to the NVM
+// metadata region: the read-modify-write of the 64 B line holding the
+// 8-byte entry, charged to time and traffic, through the cow-meta-write
+// fault point. An 8-byte entry is word-atomic on the device, so a "tear"
+// of the surrounding line either lands the entry or leaves the old one —
+// never half a PFN. This is THE durable persist point for CoW metadata:
+// eager strategies reach it on every mapping update, lazy strategies at
+// eviction and drain time — which is exactly how a strategy re-schedules
+// its persist-point behaviour under the unchanged fault plane.
+func (e *Engine) writeCoWEntryNVM(now, dst, src uint64, present bool) (uint64, error) {
 	addr := e.cowMetaAddr(dst)
 	var raw [mem.LineBytes]byte
-	// The 8-byte entry lives inside a 64 B metadata line, so the update is
-	// a read-modify-write: the line fetch costs a real NVM read, charged to
-	// time and traffic like any other metadata read.
 	e.Phys.ReadLine(addr, &raw)
 	now = e.Mem.Read(now, addr)
 	e.Stats.CoWMetaReads++
@@ -444,4 +458,50 @@ func (e *Engine) storeCoWMapping(now, dst, src uint64, present bool) (uint64, er
 		e.Phys.WriteLine(addr, &raw)
 	}
 	return done, nil
+}
+
+// storeCoWMapping updates the supplementary CoW-metadata region (and its
+// cache slice). present=false erases the mapping.
+//
+// Under eager persistence (strict, triad:2+) the entry writes through
+// immediately. Under lazy persistence (phoenix, triad:1) an *insert* only
+// dirties the CoW cache — it becomes durable when evicted or drained, so a
+// crash without battery loses it and the destination's lines consistently
+// read as zeros (stale durable view, detected or accountable, never
+// silently wrong). *Erasures* write through under every strategy: a
+// deferred removal whose cache entry is lost would resurrect the stale
+// durable mapping through the read path, turning staleness into silent
+// wrongness.
+func (e *Engine) storeCoWMapping(now, dst, src uint64, present bool) (uint64, error) {
+	if e.strategy().EagerCoWMeta() {
+		if !present {
+			if _, had := e.peekCoWEntry(dst); !had {
+				return now, nil
+			}
+		}
+		// The cache slice holds the controller's intended view; it may run
+		// ahead of NVM if the fault plane loses the write below.
+		if present {
+			e.CoWCache.Insert(dst, src, true)
+		} else {
+			e.CoWCache.Insert(dst, 0, false)
+		}
+		return e.writeCoWEntryNVM(now, dst, src, present)
+	}
+	if !present {
+		// Erase: consult the intended view (the cache may hold a dirty,
+		// not-yet-durable insert for dst), then write through and leave a
+		// clean negative entry behind.
+		if _, had := e.cowEntryView(dst); !had {
+			return now, nil
+		}
+		e.CoWCache.Insert(dst, 0, false)
+		return e.writeCoWEntryNVM(now, dst, 0, false)
+	}
+	// Lazy insert: dirty the cache only. The displaced victim (if dirty)
+	// must persist first — its write-back is charged to this command.
+	if v, wb := e.CoWCache.InsertDirty(dst, src, true); wb {
+		return e.writeCoWEntryNVM(now, v.Dst, v.Src, v.Present)
+	}
+	return now, nil
 }

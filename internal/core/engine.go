@@ -152,6 +152,11 @@ type Config struct {
 	// or elided with identical timing and statistics (Timing). The zero
 	// value is FidelityFull. See the Fidelity type for the contract.
 	Fidelity Fidelity
+	// Persist selects the metadata persistence strategy (see
+	// PersistStrategy). nil means strict write-through — the historical
+	// behaviour, kept byte-identical so every zero-value configuration is
+	// unaffected by the strategy plumbing.
+	Persist PersistStrategy
 }
 
 // DefaultConfig returns the paper's parameters for a given scheme.
@@ -176,6 +181,15 @@ type Stats struct {
 	CtrWrites    uint64 // NVM writes of counter blocks
 	CoWMetaReads uint64 // NVM reads of the supplementary CoW table
 	CoWMetaWrite uint64 // NVM writes of the supplementary CoW table
+
+	// TreePersistWrites models the integrity-tree nodes made durable per
+	// counter-block persist under the active persistence strategy (strict
+	// persists the whole leaf-to-root path, phoenix only the leaf digest,
+	// triad:N a prefix). Purely a model: the tree is on-chip state in this
+	// simulator, so these writes never appear as device traffic or timing
+	// — they are the runtime-write-overhead axis the persistence-strategy
+	// experiment trades against RecoveryNs.
+	TreePersistWrites uint64
 
 	ZeroWriteElisions uint64 // all-zero line writes turned into counter resets
 
@@ -472,6 +486,12 @@ func (e *Engine) persistBlock(now, pfn uint64, blk *ctr.Block) (uint64, error) {
 	}
 	addr := e.ctrAddr(pfn)
 	e.Stats.CtrWrites++
+	if !e.cfg.NonSecure {
+		// Runtime write overhead of the persistence strategy: how many
+		// integrity-tree nodes this counter persist makes durable. Modeled
+		// only — no device traffic or timing — so strict stays bit-exact.
+		e.Stats.TreePersistWrites += e.strategy().NodesPerCounterPersist(e.Tree.Levels())
+	}
 	e.initialised.Set(pfn)
 	done := e.Mem.Write(now, addr)
 	dec := e.fiHit(faultinject.CtrWrite)
@@ -530,19 +550,31 @@ func (e *Engine) storeBlock(now, pfn uint64, blk *ctr.Block) (uint64, error) {
 	return done, nil
 }
 
-// DrainMetadata flushes dirty counter blocks at the given timestamp (the
-// battery-backed drain at crash or end of run). Every victim issues at the
-// same `now` — the drain models the residual-energy burst flushing the
-// cache in parallel, not a serial chain — and the returned time is the
-// latest completion. It also forces the lazily maintained Merkle root
-// current, so the persisted metadata image is crash-consistent with the
-// root the verifier would recompute.
+// DrainMetadata flushes dirty counter blocks — and, under a lazy
+// persistence strategy, dirty supplementary CoW-table entries — at the
+// given timestamp (the battery-backed drain at crash or end of run). Every
+// victim issues at the same `now` — the drain models the residual-energy
+// burst flushing the cache in parallel, not a serial chain — and the
+// returned time is the latest completion. It also forces the lazily
+// maintained Merkle root current, so the persisted metadata image is
+// crash-consistent with the root the verifier would recompute.
 func (e *Engine) DrainMetadata(now uint64) (uint64, error) {
 	done := now
 	var firstErr error
 	e.CtrCache.DrainDirty(func(v ctrcache.Victim) {
 		blk := v.Blk
 		d, err := e.persistBlock(now, v.Page, &blk)
+		if d > done {
+			done = d
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	})
+	// Under strict (eager) persistence the CoW cache never holds dirty
+	// entries and this loop never runs, keeping the strict path bit-exact.
+	e.CoWCache.DrainDirty(func(v ctrcache.CoWVictim) {
+		d, err := e.writeCoWEntryNVM(now, v.Dst, v.Src, v.Present)
 		if d > done {
 			done = d
 		}
@@ -611,14 +643,17 @@ func (e *Engine) peekBlock(pfn uint64) (blk ctr.Block, ok bool) {
 
 // IsCoW reports whether the page currently has live fine-grained CoW state
 // (uncopied lines that reference a source page). Pure introspection: the
-// caches, statistics and device clock are left untouched.
+// caches, statistics and device clock are left untouched. Under a lazy
+// persistence strategy the intended (cache-ahead) mapping view is
+// consulted, so the kernel's CoW decisions see mappings that have not
+// reached NVM yet.
 func (e *Engine) IsCoW(pfn uint64) bool {
 	switch e.cfg.Scheme {
 	case Lelantus:
 		blk, ok := e.peekBlock(pfn)
 		return ok && blk.CoW
 	case LelantusCoW:
-		_, ok := e.peekCoWEntry(pfn)
+		_, ok := e.cowEntryView(pfn)
 		return ok
 	default:
 		return false
@@ -634,7 +669,7 @@ func (e *Engine) SourceOf(pfn uint64) (uint64, bool) {
 			return blk.Src, true
 		}
 	case LelantusCoW:
-		return e.peekCoWEntry(pfn)
+		return e.cowEntryView(pfn)
 	}
 	return 0, false
 }

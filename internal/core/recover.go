@@ -20,24 +20,38 @@ const reportListCap = 64
 // byte-identical JSON — the determinism contract the property test pins.
 type RecoveryReport struct {
 	Scheme    Scheme `json:"scheme"`
+	Strategy  string `json:"strategy"`
 	FaultSeed int64  `json:"faultSeed"`
 
-	// Counter-block scan (pass 1).
+	// Counter-block scan (pass 1). Under a strategy without durable leaf
+	// digests the scan *adopts* the NVM counter image instead of verifying
+	// it: LeavesRebuilt counts the re-derived digests and TornBlocks stays
+	// zero — torn counter writes surface later as MAC mismatches.
 	BlocksScanned uint64   `json:"blocksScanned"`
 	TornBlocks    uint64   `json:"tornBlocks"`
 	TornPages     []uint64 `json:"tornPages,omitempty"` // first reportListCap, sorted
+	LeavesRebuilt uint64   `json:"leavesRebuilt,omitempty"`
 
-	// Merkle-tree rebuild (pass 2).
-	NodesRebuilt uint64 `json:"nodesRebuilt"`
-	RootMatched  bool   `json:"rootMatched"`
+	// Merkle-tree rebuild (pass 2). NodesByLevel[l] is the node count of
+	// inner level l (level 0 sits directly above the leaf digests);
+	// NodesRebuilt is their sum. Levels the strategy did not persist cost an
+	// extra device read per node at recovery.
+	NodesRebuilt uint64   `json:"nodesRebuilt"`
+	NodesByLevel []uint64 `json:"nodesByLevel,omitempty"`
+	RootMatched  bool     `json:"rootMatched"`
 
-	// CoW-chain validation (pass 3).
+	// CoW-chain validation (pass 3). ChainReads is the modeled number of
+	// device reads the validation issues: the supplementary-table scan plus
+	// one read per chain hop (see chainReads below for the per-scheme
+	// accounting).
 	CoWMappings    uint64 `json:"cowMappings"`
 	CoWChains      uint64 `json:"cowChains"`
+	ChainReads     uint64 `json:"chainReads"`
 	InvalidSources uint64 `json:"invalidSources"`
 	ChainCycles    uint64 `json:"chainCycles"`
 
-	// Data-line MAC scrub (pass 4, Full fidelity only).
+	// Data-line MAC scrub (pass 4, secure mode; MACs are actually verified
+	// only at Full fidelity — the counts are fidelity-independent).
 	LinesScrubbed uint64   `json:"linesScrubbed"`
 	MACMismatches uint64   `json:"macMismatches"`
 	LostLines     []uint64 `json:"lostLines,omitempty"` // line addrs, first reportListCap, sorted
@@ -63,10 +77,10 @@ func (r *RecoveryReport) Violations() []string {
 
 func (r *RecoveryReport) String() string {
 	return fmt.Sprintf(
-		"recovery[%v seed=%d]: scanned %d blocks (%d torn), rebuilt %d tree nodes (root matched: %v), "+
-			"%d CoW mappings in %d chains (%d invalid sources, %d cycles), scrubbed %d lines (%d MAC mismatches), %d ns",
-		r.Scheme, r.FaultSeed, r.BlocksScanned, r.TornBlocks, r.NodesRebuilt, r.RootMatched,
-		r.CoWMappings, r.CoWChains, r.InvalidSources, r.ChainCycles,
+		"recovery[%v/%s seed=%d]: scanned %d blocks (%d torn, %d leaves rebuilt), rebuilt %d tree nodes (root matched: %v), "+
+			"%d CoW mappings in %d chains (%d reads, %d invalid sources, %d cycles), scrubbed %d lines (%d MAC mismatches), %d ns",
+		r.Scheme, r.Strategy, r.FaultSeed, r.BlocksScanned, r.TornBlocks, r.LeavesRebuilt, r.NodesRebuilt, r.RootMatched,
+		r.CoWMappings, r.CoWChains, r.ChainReads, r.InvalidSources, r.ChainCycles,
 		r.LinesScrubbed, r.MACMismatches, r.RecoveryNs)
 }
 
@@ -86,32 +100,59 @@ func (e *Engine) chainNext(pfn uint64) (uint64, bool) {
 
 // Recover scrubs the persisted metadata image after a crash, in the spirit
 // of Anubis/Phoenix-style recovery: the NVM-resident leaves are the ground
-// truth, everything volatile is rebuilt or re-verified from them.
+// truth, everything volatile is rebuilt or re-verified from them. The
+// engine's persistence strategy decides how much verifying versus rebuilding
+// each pass does — and what each pass is charged.
 //
-// Pass 1 re-verifies every initialised counter block against its persisted
-// leaf digest, flagging torn or lost block writes. Pass 2 rebuilds the
-// Merkle inner nodes bottom-up from the leaves. Pass 3 walks every CoW
-// redirect chain and checks the structural invariants (sources in range and
-// distinct from their destination, initialised or the shared zero frame,
-// chains acyclic). Pass 4 (Full fidelity, secure mode) re-verifies the MAC
-// of every written line on non-torn pages; mismatches are counted and left
-// in place so subsequent reads still fail loudly — recovery detects, it
-// does not invent data.
+// Pass 1 walks every initialised counter block. With durable leaf digests
+// (strict, phoenix, triad:2+) each block is re-verified against its
+// persisted digest, flagging torn or lost block writes. Without them
+// (triad:1) the pass instead re-derives every leaf digest from the NVM
+// counter image and adopts it — recovery then cannot tell a torn counter
+// write apart here, so detection shifts to the pass-4 (and read-time) MAC
+// checks. Pass 2 rebuilds the Merkle inner nodes bottom-up from the leaves;
+// levels the strategy persisted are verified in place, unpersisted levels
+// additionally pay a device access per node to restore the NVM image.
+// Pass 3 walks every CoW redirect chain and checks the structural
+// invariants (sources in range and distinct from their destination,
+// initialised or the shared zero frame, chains acyclic), billing the device
+// reads the walk issues. Pass 4 (secure mode) re-verifies the MAC of every
+// written line on non-torn pages; mismatches are counted and left in place
+// so subsequent reads still fail loudly — recovery detects, it does not
+// invent data.
+//
+// Under FidelityTiming the digest and MAC computations are elided (nothing
+// can be detected — timing mode is not a crash-consistency model, §10) but
+// every count that feeds RecoveryNs is kept, so the modeled recovery cost
+// and the persist-matrix report are byte-identical across fidelities.
 //
 // The scrub itself runs outside simulated time; its modeled device cost is
 // reported in RecoveryNs and accumulated into Stats.
 func (e *Engine) Recover() (*RecoveryReport, error) {
-	rep := &RecoveryReport{Scheme: e.cfg.Scheme, FaultSeed: e.fi.Seed(), RootMatched: true}
-	hashing := !e.cfg.NonSecure && e.cfg.Fidelity == FidelityFull
+	strat := e.strategy()
+	rep := &RecoveryReport{Scheme: e.cfg.Scheme, Strategy: strat.Name(), FaultSeed: e.fi.Seed(), RootMatched: true}
+	secure := !e.cfg.NonSecure
+	hashing := secure && e.cfg.Fidelity == FidelityFull
 	pages := e.layout.DataLimit / mem.PageBytes
 
-	// Pass 1: counter-block scan against the persisted leaf digests.
+	// Pass 1: counter-block scan against (or rebuild of) the leaf digests.
 	torn := make(map[uint64]bool)
+	leafDurable := strat.LeafDigestsDurable()
 	for pfn := uint64(0); pfn < pages; pfn++ {
 		if !e.initialised.Test(pfn) {
 			continue
 		}
 		rep.BlocksScanned++
+		if !secure {
+			continue
+		}
+		if !leafDurable {
+			var raw [ctr.BlockBytes]byte
+			e.Phys.ReadLine(e.ctrAddr(pfn), &raw)
+			e.Tree.ResetLeaf(pfn, raw[:])
+			rep.LeavesRebuilt++
+			continue
+		}
 		if !hashing {
 			continue
 		}
@@ -127,17 +168,33 @@ func (e *Engine) Recover() (*RecoveryReport, error) {
 	}
 	sort.Slice(rep.TornPages, func(i, j int) bool { return rep.TornPages[i] < rep.TornPages[j] })
 
-	// Pass 2: rebuild the Merkle inner nodes from the persisted leaves
-	// (Phoenix-style). The root register is compared for information only:
-	// the tree is maintained lazily, so at crash time the register commonly
-	// trails the leaves without anything being wrong.
-	if !e.cfg.NonSecure && e.Tree != nil {
+	// Pass 2: rebuild the Merkle inner nodes from the (possibly just
+	// re-derived) leaves, Phoenix-style, level by level. The root register
+	// is compared for information only: the tree is maintained lazily, so at
+	// crash time the register commonly trails the leaves without anything
+	// being wrong.
+	if secure && e.Tree != nil {
 		oldRoot := e.Tree.RootRegister()
-		rep.NodesRebuilt = e.Tree.RebuildFromLeaves()
+		rep.NodesByLevel = e.Tree.RebuildFromLeavesByLevel()
+		for _, n := range rep.NodesByLevel {
+			rep.NodesRebuilt += n
+		}
 		rep.RootMatched = e.Tree.RootRegister() == oldRoot
 	}
 
 	// Pass 3: CoW redirect-chain invariants, from durable state only.
+	//
+	// Device-read accounting (ChainReads): Lelantus-CoW first scans the
+	// supplementary table — eight 8 B mappings per 64 B line — then pays one
+	// table-line read per hop of every walk. Lelantus keeps the mapping
+	// inside the counter block, so the start scan piggybacks on the block
+	// stream pass 1 just read (no extra charge) and a walk hop is billed
+	// only when it lands on an initialised page whose block actually has to
+	// be fetched.
+	if e.cfg.Scheme == LelantusCoW {
+		entriesPerLine := uint64(mem.LineBytes / 8)
+		rep.ChainReads += (pages + entriesPerLine - 1) / entriesPerLine
+	}
 	starts := make([]uint64, 0)
 	for pfn := uint64(0); pfn < pages; pfn++ {
 		if _, ok := e.chainNext(pfn); ok {
@@ -150,6 +207,14 @@ func (e *Engine) Recover() (*RecoveryReport, error) {
 		visited := map[uint64]bool{start: true}
 		cur := start
 		for {
+			switch e.cfg.Scheme {
+			case Lelantus:
+				if e.initialised.Test(cur) {
+					rep.ChainReads++
+				}
+			case LelantusCoW:
+				rep.ChainReads++
+			}
 			src, ok := e.chainNext(cur)
 			if !ok {
 				break
@@ -175,7 +240,7 @@ func (e *Engine) Recover() (*RecoveryReport, error) {
 
 	// Pass 4: MAC scrub of written lines on pages whose counter block
 	// survived intact (a torn block already invalidates the whole page).
-	if hashing {
+	if secure {
 		for pfn := uint64(0); pfn < pages; pfn++ {
 			if !e.initialised.Test(pfn) || torn[pfn] {
 				continue
@@ -191,6 +256,9 @@ func (e *Engine) Recover() (*RecoveryReport, error) {
 					continue
 				}
 				rep.LinesScrubbed++
+				if !hashing {
+					continue
+				}
 				var ciph [mem.LineBytes]byte
 				e.Phys.ReadLine(la, &ciph)
 				if err := e.MACs.Verify(lineNo, ciph[:], blk.Major, blk.Minor[i]); err != nil {
@@ -204,13 +272,27 @@ func (e *Engine) Recover() (*RecoveryReport, error) {
 		sort.Slice(rep.LostLines, func(i, j int) bool { return rep.LostLines[i] < rep.LostLines[j] })
 	}
 
-	// Modeled scrub cost: every scanned block is a metadata read plus a
-	// verification, every rebuilt node a hash, every scrubbed line a data
-	// read plus a MAC check.
+	// Modeled scrub cost, per pass. Pass 1: every scanned block is a
+	// metadata read plus a verification, and a rebuilt leaf digest an extra
+	// hash. Pass 2: every inner node a hash, plus a device access when its
+	// level was not persisted. Pass 3: the chain-walk device reads. Pass 4:
+	// every scrubbed line a data read plus a MAC check. The per-pass terms
+	// are recomputable from the report fields and the strategy's declared
+	// durability — TestRecoveryNsFormulaPerPass pins exactly that.
 	devCfg := e.Dev.Config()
-	rep.RecoveryNs = rep.BlocksScanned*(devCfg.ReadNs+e.cfg.VerifyNs) +
-		rep.NodesRebuilt*e.cfg.VerifyNs +
-		rep.LinesScrubbed*(devCfg.ReadNs+e.cfg.VerifyNs)
+	durableInner := strat.DurableInnerLevels(len(rep.NodesByLevel))
+	pass1 := rep.BlocksScanned*(devCfg.ReadNs+e.cfg.VerifyNs) + rep.LeavesRebuilt*e.cfg.VerifyNs
+	var pass2 uint64
+	for l, n := range rep.NodesByLevel {
+		cost := e.cfg.VerifyNs
+		if l >= durableInner {
+			cost += devCfg.ReadNs
+		}
+		pass2 += n * cost
+	}
+	pass3 := rep.ChainReads * devCfg.ReadNs
+	pass4 := rep.LinesScrubbed * (devCfg.ReadNs + e.cfg.VerifyNs)
+	rep.RecoveryNs = pass1 + pass2 + pass3 + pass4
 
 	e.Stats.Recoveries++
 	e.Stats.RecoveryBlocksScanned += rep.BlocksScanned
@@ -223,14 +305,15 @@ func (e *Engine) Recover() (*RecoveryReport, error) {
 	if e.pr != nil {
 		// One span per scrub pass, laid end to end from the plane's
 		// high-water simulated time using the same modeled per-pass costs
-		// that make up RecoveryNs (pass 3 is a pure in-memory walk with no
-		// modeled device cost, so it appears as an instant marker).
+		// that make up RecoveryNs. The strategy's leaf-digest rebuild (when
+		// it runs) is part of the pass-1 span: it happens on the same block
+		// stream, before the tree rebuild of pass 2.
 		t := e.pr.LastNs()
 		passes := [4]struct{ dur, n uint64 }{
-			{rep.BlocksScanned * (devCfg.ReadNs + e.cfg.VerifyNs), rep.BlocksScanned},
-			{rep.NodesRebuilt * e.cfg.VerifyNs, rep.NodesRebuilt},
-			{0, rep.CoWChains},
-			{rep.LinesScrubbed * (devCfg.ReadNs + e.cfg.VerifyNs), rep.LinesScrubbed},
+			{pass1, rep.BlocksScanned},
+			{pass2, rep.NodesRebuilt},
+			{pass3, rep.CoWChains},
+			{pass4, rep.LinesScrubbed},
 		}
 		for i, p := range passes {
 			e.pr.Record(probe.EvRecovery, t, t+p.dur, uint64(i+1), p.n)

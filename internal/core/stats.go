@@ -21,6 +21,7 @@ func (s Stats) Sub(prev Stats) Stats {
 		CtrWrites:         s.CtrWrites - prev.CtrWrites,
 		CoWMetaReads:      s.CoWMetaReads - prev.CoWMetaReads,
 		CoWMetaWrite:      s.CoWMetaWrite - prev.CoWMetaWrite,
+		TreePersistWrites: s.TreePersistWrites - prev.TreePersistWrites,
 		ZeroWriteElisions: s.ZeroWriteElisions - prev.ZeroWriteElisions,
 		Redirects:         s.Redirects - prev.Redirects,
 		ChainHops:         s.ChainHops - prev.ChainHops,

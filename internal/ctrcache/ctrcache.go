@@ -221,7 +221,18 @@ type cowEntry struct {
 	dst        uint64
 	src        uint64
 	present    bool // false caches a negative result ("no source mapping")
+	dirty      bool // entry newer than NVM; must write back before loss
 	prev, next int32
+}
+
+// CoWVictim is a dirty CoW-table entry displaced from the cache (or handed
+// out by DrainDirty) whose NVM image is stale: the caller must persist it.
+// Lazy persistence strategies are the only producers — eager write-through
+// never leaves an entry dirty.
+type CoWVictim struct {
+	Dst     uint64
+	Src     uint64
+	Present bool
 }
 
 // NewCoW creates a CoW-mapping cache backed by sizeBytes of counter-cache
@@ -286,18 +297,36 @@ func (c *CoWCache) Lookup(dst uint64) (src uint64, present, cached bool) {
 	return 0, false, false
 }
 
-// Insert caches a mapping (or, with present=false, its absence) fetched
-// from the NVM CoW-metadata region, evicting the LRU entry when full.
-func (c *CoWCache) Insert(dst, src uint64, present bool) {
+// Insert caches a mapping (or, with present=false, its absence) that is
+// already durable in the NVM CoW-metadata region, evicting the LRU entry
+// when full. The entry is installed clean: an update-in-place clears any
+// dirty flag (the durable image just caught up). If the eviction displaces
+// a dirty entry its pending state is returned and the caller must persist
+// it — losing it silently would drop a mapping a lazy strategy still owes
+// the NVM.
+func (c *CoWCache) Insert(dst, src uint64, present bool) (victim CoWVictim, needWB bool) {
+	return c.insert(dst, src, present, false)
+}
+
+// InsertDirty caches a mapping that is *not* yet durable (lazy-persistence
+// insert): the entry is marked dirty and must reach NVM via eviction
+// write-back or DrainDirty. Returns any displaced dirty entry exactly like
+// Insert.
+func (c *CoWCache) InsertDirty(dst, src uint64, present bool) (victim CoWVictim, needWB bool) {
+	return c.insert(dst, src, present, true)
+}
+
+func (c *CoWCache) insert(dst, src uint64, present, dirty bool) (victim CoWVictim, needWB bool) {
 	if i, ok := c.idx[dst]; ok {
 		e := &c.ents[i]
 		e.src = src
 		e.present = present
+		e.dirty = dirty
 		if c.head != i {
 			c.unlink(i)
 			c.pushFront(i)
 		}
-		return
+		return CoWVictim{}, false
 	}
 	var slot int32
 	if n := len(c.free); n > 0 {
@@ -306,18 +335,50 @@ func (c *CoWCache) Insert(dst, src uint64, present bool) {
 	} else {
 		slot = c.tail
 		c.unlink(slot)
+		if old := &c.ents[slot]; old.dirty {
+			victim = CoWVictim{Dst: old.dst, Src: old.src, Present: old.present}
+			needWB = true
+		}
 		delete(c.idx, c.ents[slot].dst)
 	}
-	c.ents[slot] = cowEntry{dst: dst, src: src, present: present}
+	c.ents[slot] = cowEntry{dst: dst, src: src, present: present, dirty: dirty}
 	c.pushFront(slot)
 	c.idx[dst] = slot
+	return victim, needWB
 }
 
-// Drop removes a mapping (page_phyc / page_free).
+// Peek returns the cached mapping state for a destination page without any
+// side effects: no LRU promotion and no hit/miss accounting. Introspection
+// and persistence-policy decisions use it where Lookup would perturb the
+// measured miss rate.
+func (c *CoWCache) Peek(dst uint64) (src uint64, present, cached bool) {
+	if i, hit := c.idx[dst]; hit {
+		e := &c.ents[i]
+		return e.src, e.present, true
+	}
+	return 0, false, false
+}
+
+// DrainDirty hands every dirty entry to sink in slot order (deterministic
+// across runs) and marks it clean — the battery-backed burst that flushes
+// lazily persisted CoW mappings at crash or end of run.
+func (c *CoWCache) DrainDirty(sink func(CoWVictim)) {
+	for i := range c.ents {
+		e := &c.ents[i]
+		if e.dirty {
+			sink(CoWVictim{Dst: e.dst, Src: e.src, Present: e.present})
+			e.dirty = false
+		}
+	}
+}
+
+// Drop removes a mapping (page_phyc / page_free). The slot is zeroed so a
+// later DrainDirty never resurrects the dead entry.
 func (c *CoWCache) Drop(dst uint64) {
 	if i, ok := c.idx[dst]; ok {
 		c.unlink(i)
 		delete(c.idx, dst)
+		c.ents[i] = cowEntry{}
 		c.free = append(c.free, i)
 	}
 }

@@ -46,6 +46,10 @@ type Options struct {
 	// reachable afterwards only for runs built through machineConfig by the
 	// caller (RunOne-style single runs) — grid reports ignore them.
 	Probe *probe.Config
+	// Persist selects the metadata persistence strategy every machine runs
+	// under (nil = strict write-through, the historical behaviour). The
+	// persist-matrix experiment overrides it per cell.
+	Persist core.PersistStrategy
 
 	// scripts interns generated workload scripts across the experiments of
 	// one option set (set by DefaultOptions; nil just disables sharing).
@@ -97,6 +101,7 @@ func (o Options) machineConfig(scheme core.Scheme, mutate func(*sim.Config)) sim
 	cfg := sim.DefaultConfig(scheme)
 	cfg.Mem.MemBytes = o.memBytes()
 	cfg.Mem.Core.Fidelity = o.Fidelity
+	cfg.Mem.Core.Persist = o.Persist
 	if o.Probe != nil {
 		cfg.Mem.Probe = probe.New(*o.Probe)
 	}
@@ -178,6 +183,7 @@ func All(o Options) ([]*Report, error) {
 		{"ablation-tlb", AblationTLB},
 		{"usecases", UseCases},
 		{"ablation-writequeue", AblationWriteQueue},
+		{"persist-matrix", PersistMatrix},
 	}
 	for _, g := range gens {
 		r, err := g.f(o)
@@ -228,6 +234,8 @@ func ByID(o Options, id string) (*Report, error) {
 		return UseCases(o)
 	case "ablation-writequeue":
 		return AblationWriteQueue(o)
+	case "persist-matrix":
+		return PersistMatrix(o)
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 }
@@ -237,7 +245,8 @@ func IDs() []string {
 	return []string{"fig2", "tableI", "tableIII", "tableIV", "fig9-4KB",
 		"fig9-2MB", "fig10", "tableV", "fig11-4KB", "fig11-2MB", "fig12",
 		"ablation-nonsecure", "ablation-cowcache", "ablation-ctrcache",
-		"ablation-wear", "ablation-tlb", "usecases", "ablation-writequeue"}
+		"ablation-wear", "ablation-tlb", "usecases", "ablation-writequeue",
+		"persist-matrix"}
 }
 
 var _ = ctrcache.WriteBack // referenced by fig12.go

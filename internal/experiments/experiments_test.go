@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -80,9 +81,10 @@ func TestByID(t *testing.T) {
 // hooks and config mutators.)
 func TestParallelDeterminism(t *testing.T) {
 	gens := map[string]func(Options) (*Report, error){
-		"fig2":          Fig2,
-		"ablation-wear": AblationWear,
-		"ablation-tlb":  AblationTLB,
+		"fig2":           Fig2,
+		"ablation-wear":  AblationWear,
+		"ablation-tlb":   AblationTLB,
+		"persist-matrix": PersistMatrix,
 	}
 	for name, gen := range gens {
 		seq := quickOpts()
@@ -102,6 +104,49 @@ func TestParallelDeterminism(t *testing.T) {
 				name, r1, r8)
 		}
 	}
+}
+
+// TestPersistMatrixTradeoff pins the axis the persist-matrix experiment
+// reports: for every scheme, relaxed strategies must show a lower runtime
+// tree-persist count than strict while charging at least as much recovery
+// time — lower write overhead is only ever bought with recovery work.
+func TestPersistMatrixTradeoff(t *testing.T) {
+	r, err := PersistMatrix(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	type cell struct{ treePersists, recoveryUs float64 }
+	byKey := make(map[string]cell)
+	for _, row := range r.Table.Rows() {
+		byKey[row[0]+"/"+row[1]] = cell{
+			treePersists: toFloat(t, row[3]),
+			recoveryUs:   toFloat(t, row[5]),
+		}
+	}
+	for _, s := range comparedSchemes() {
+		strict := byKey["strict/"+s.String()]
+		for _, relaxed := range []string{"phoenix", "triad:1", "triad:2"} {
+			c, ok := byKey[relaxed+"/"+s.String()]
+			if !ok {
+				t.Fatalf("missing row %s/%v in:\n%s", relaxed, s, r)
+			}
+			if c.treePersists >= strict.treePersists {
+				t.Errorf("%s/%v: tree persists %.0f, want < strict %.0f", relaxed, s, c.treePersists, strict.treePersists)
+			}
+			if c.recoveryUs < strict.recoveryUs {
+				t.Errorf("%s/%v: recovery %.1f us cheaper than strict %.1f us", relaxed, s, c.recoveryUs, strict.recoveryUs)
+			}
+		}
+	}
+}
+
+func toFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("non-numeric table cell %q", s)
+	}
+	return f
 }
 
 // TestAllQuickSmoke regenerates every experiment at quick scale — the

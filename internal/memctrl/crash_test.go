@@ -161,7 +161,7 @@ func TestWriteQueueEndToEnd(t *testing.T) {
 	if got[0] != 19 {
 		t.Fatalf("read %#x, want 0x13", got[0])
 	}
-	if err := c.Drain(); err != nil {
+	if err := c.Drain(0); err != nil {
 		t.Fatal(err)
 	}
 	if c.Queue.Occupancy() != 0 {

@@ -143,6 +143,7 @@ func New(cfg Config) (*Controller, error) {
 		eng.Mem = ctl.Queue
 	}
 	eng.AttachFaultPlane(cfg.FaultPlane, cfg.WriteQueue != nil)
+	cfg.FaultPlane.SetPersistProfile(eng.PersistName())
 	eng.AttachProbe(cfg.Probe)
 	if cfg.Probe != nil {
 		// The sampler reads through the controller so it tracks the *current*
@@ -432,20 +433,23 @@ func (c *Controller) Recover() (*core.RecoveryReport, error) {
 	return c.Engine.Recover()
 }
 
-// Drain writes back all dirty cache and metadata state (end-of-run
-// accounting) without advancing simulated time.
-func (c *Controller) Drain() error {
+// Drain writes back all dirty cache and metadata state (end-of-run or
+// measurement-boundary accounting). Every drain-issued write is stamped with
+// now, the caller's current simulated time — issuing them at time zero would
+// backdate the device's bank-availability bookkeeping to before the ops that
+// dirtied the state (see TestDrainIssuesAtCurrentTime).
+func (c *Controller) Drain(now uint64) error {
 	var firstErr error
 	c.Caches.DrainDirty(func(v cache.Victim) {
-		if _, err := c.writeBackVictim(0, v); err != nil && firstErr == nil {
+		if _, err := c.writeBackVictim(now, v); err != nil && firstErr == nil {
 			firstErr = err
 		}
 	})
-	if _, err := c.Engine.DrainMetadata(0); err != nil && firstErr == nil {
+	if _, err := c.Engine.DrainMetadata(now); err != nil && firstErr == nil {
 		firstErr = err
 	}
 	if c.Queue != nil {
-		c.Queue.Flush(0)
+		c.Queue.Flush(now)
 	}
 	return firstErr
 }

@@ -54,7 +54,7 @@ func TestCacheAbsorbsStores(t *testing.T) {
 	if c.Engine.Stats.DataWrites != w0 {
 		t.Fatal("repeated stores to one line must coalesce in cache")
 	}
-	if err := c.Drain(); err != nil {
+	if err := c.Drain(0); err != nil {
 		t.Fatal(err)
 	}
 	if c.Engine.Stats.DataWrites != w0+1 {

@@ -58,7 +58,10 @@ const (
 	// demand-zero, 1 for CoW copy, 2 for exclusive-owner reuse.
 	EvKernelFault
 	// EvRecovery is one pass of the post-crash metadata scrub; Addr is the
-	// pass number (1-4), Arg the pass's item count.
+	// pass number (1-4), Arg the pass's item count. Every persistence
+	// strategy's recovery work flows through these four spans: a strategy's
+	// leaf-digest rebuild rides the pass-1 block scan (before the pass-2
+	// tree rebuild) and the pass-3 span carries the chain-walk device reads.
 	EvRecovery
 
 	// NumKinds bounds the Kind space.

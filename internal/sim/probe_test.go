@@ -13,12 +13,14 @@ import (
 
 // probeRun executes a small forkbench on a fresh machine with a fresh plane
 // attached and returns the plane. The write queue is enabled so the queue
-// occupancy distribution is exercised too.
-func probeRun(t *testing.T, sampleNs uint64) *probe.Plane {
+// occupancy distribution is exercised too; strat selects the persistence
+// strategy (nil = strict).
+func probeRun(t *testing.T, sampleNs uint64, strat core.PersistStrategy) *probe.Plane {
 	t.Helper()
 	cfg := DefaultConfig(core.Lelantus)
 	cfg.Mem.MemBytes = 64 << 20
 	cfg.Mem.Core.Fidelity = core.FidelityTiming
+	cfg.Mem.Core.Persist = strat
 	q := nvm.DefaultQueueConfig()
 	cfg.Mem.WriteQueue = &q
 	pl := probe.New(probe.Config{SampleNs: sampleNs})
@@ -35,7 +37,7 @@ func probeRun(t *testing.T, sampleNs uint64) *probe.Plane {
 // the full plane fills in: command, data-path, cache, kernel and sampling
 // channels all observe events with coherent simulated-time stamps.
 func TestProbeEndToEnd(t *testing.T) {
-	pl := probeRun(t, 1_000_000)
+	pl := probeRun(t, 1_000_000, nil)
 	for _, k := range []probe.Kind{
 		probe.EvRead, probe.EvWrite, probe.EvPageCopy, probe.EvPageInit,
 		probe.EvCtrHit, probe.EvCtrMiss, probe.EvKernelFault,
@@ -70,38 +72,138 @@ func TestProbeEndToEnd(t *testing.T) {
 
 // TestProbeDeterministicExports pins the acceptance criterion: two identical
 // machines running the same script produce byte-identical probe summaries
-// and byte-identical Perfetto traces, and the trace validates.
+// and byte-identical Perfetto traces, and the trace validates — under every
+// persistence strategy, since lazy strategies reshuffle when persist-point
+// events fire.
 func TestProbeDeterministicExports(t *testing.T) {
-	a := probeRun(t, 500_000)
-	b := probeRun(t, 500_000)
+	strategies := map[string]core.PersistStrategy{
+		"strict":  nil,
+		"phoenix": core.PhoenixPersist(),
+		"triad:1": core.TriadPersist(1),
+	}
+	for name, strat := range strategies {
+		strat := strat
+		t.Run(name, func(t *testing.T) {
+			a := probeRun(t, 500_000, strat)
+			b := probeRun(t, 500_000, strat)
 
-	ja, err := a.MarshalJSONSummary()
-	if err != nil {
-		t.Fatal(err)
-	}
-	jb, err := b.MarshalJSONSummary()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(ja, jb) {
-		t.Error("probe summaries differ across identical runs")
-	}
-	if !json.Valid(ja) {
-		t.Error("summary is not valid JSON")
-	}
+			ja, err := a.MarshalJSONSummary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			jb, err := b.MarshalJSONSummary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ja, jb) {
+				t.Error("probe summaries differ across identical runs")
+			}
+			if !json.Valid(ja) {
+				t.Error("summary is not valid JSON")
+			}
 
-	var ta, tb bytes.Buffer
-	if err := a.WriteTrace(&ta); err != nil {
-		t.Fatal(err)
+			var ta, tb bytes.Buffer
+			if err := a.WriteTrace(&ta); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.WriteTrace(&tb); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(ta.Bytes(), tb.Bytes()) {
+				t.Error("Perfetto traces differ across identical runs")
+			}
+			if err := probe.ValidateTrace(ta.Bytes()); err != nil {
+				t.Errorf("emitted trace does not validate: %v", err)
+			}
+		})
 	}
-	if err := b.WriteTrace(&tb); err != nil {
-		t.Fatal(err)
-	}
-	if !bytes.Equal(ta.Bytes(), tb.Bytes()) {
-		t.Error("Perfetto traces differ across identical runs")
-	}
-	if err := probe.ValidateTrace(ta.Bytes()); err != nil {
-		t.Errorf("emitted trace does not validate: %v", err)
+}
+
+// TestProbeRecoveryEventsPerStrategy pins that every strategy's recovery
+// work — including the leaf-digest rebuild a counters-only strategy runs
+// before the tree rebuild — flows through the existing EvRecovery event
+// class: exactly four contiguous pass spans whose durations re-derive from
+// the recovery report's per-pass cost model.
+func TestProbeRecoveryEventsPerStrategy(t *testing.T) {
+	strategies := []core.PersistStrategy{nil, core.PhoenixPersist(), core.TriadPersist(1), core.TriadPersist(2)}
+	for _, strat := range strategies {
+		name := "strict"
+		if strat != nil {
+			name = strat.Name()
+		}
+		strat := strat
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultConfig(core.LelantusCoW)
+			cfg.Mem.MemBytes = 16 << 20
+			cfg.Mem.Core.Persist = strat
+			pl := probe.New(probe.Config{})
+			cfg.Mem.Probe = pl
+			m, err := NewMachine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := m.Run(crashSweepScript()); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Ctl.Crash(m.Now(), true); err != nil {
+				t.Fatal(err)
+			}
+			rep, err := m.Ctl.Recover()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var spans []probe.Event
+			pl.Events(func(e probe.Event) {
+				if e.Kind == probe.EvRecovery {
+					spans = append(spans, e)
+				}
+			})
+			if len(spans) != 4 {
+				t.Fatalf("recovery emitted %d EvRecovery spans, want 4", len(spans))
+			}
+			R := m.Ctl.Dev.Config().ReadNs
+			V := cfg.Mem.Core.VerifyNs
+			eff := strat
+			if eff == nil {
+				eff = core.StrictPersist()
+			}
+			durable := eff.DurableInnerLevels(len(rep.NodesByLevel))
+			var pass2 uint64
+			for l, n := range rep.NodesByLevel {
+				cost := V
+				if l >= durable {
+					cost += R
+				}
+				pass2 += n * cost
+			}
+			wantDur := [4]uint64{
+				rep.BlocksScanned*(R+V) + rep.LeavesRebuilt*V,
+				pass2,
+				rep.ChainReads * R,
+				rep.LinesScrubbed * (R + V),
+			}
+			wantArg := [4]uint64{rep.BlocksScanned, rep.NodesRebuilt, rep.CoWChains, rep.LinesScrubbed}
+			for i, s := range spans {
+				if s.Addr != uint64(i+1) {
+					t.Errorf("span %d labels pass %d", i, s.Addr)
+				}
+				if got := s.End - s.Start; got != wantDur[i] {
+					t.Errorf("pass %d span is %d ns, want %d", i+1, got, wantDur[i])
+				}
+				if s.Arg != wantArg[i] {
+					t.Errorf("pass %d span carries %d items, want %d", i+1, s.Arg, wantArg[i])
+				}
+				if i > 0 && s.Start != spans[i-1].End {
+					t.Errorf("pass %d span not contiguous with pass %d", i+1, i)
+				}
+			}
+			if !eff.LeafDigestsDurable() && rep.LeavesRebuilt == 0 {
+				t.Error("counters-only strategy must rebuild leaf digests in pass 1")
+			}
+			if rep.ChainReads == 0 {
+				t.Error("pass 3 must bill chain-walk reads for lelantus-cow")
+			}
+		})
 	}
 }
 

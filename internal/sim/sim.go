@@ -222,11 +222,11 @@ func (m *Machine) Run(s workload.Script) (Result, error) {
 			// the setup phase would otherwise drain inside the measured
 			// window of whichever scheme did not happen to flush it
 			// earlier (e.g. Lelantus flushes at fork, Baseline never does).
-			if err = m.Ctl.Drain(); err == nil {
+			if err = m.Ctl.Drain(m.now); err == nil {
 				m.snapInto(&m.beginSnap)
 			}
 		case workload.OpEndMeasure:
-			if err = m.Ctl.Drain(); err == nil {
+			if err = m.Ctl.Drain(m.now); err == nil {
 				m.snapInto(&m.endSnap)
 				endTaken = true
 			}
@@ -251,7 +251,7 @@ func (m *Machine) Run(s workload.Script) (Result, error) {
 			m.procNs[op.Proc] += m.now - opStart
 		}
 	}
-	if err := m.Ctl.Drain(); err != nil {
+	if err := m.Ctl.Drain(m.now); err != nil {
 		return Result{}, fmt.Errorf("sim: drain: %w", err)
 	}
 	if !endTaken {

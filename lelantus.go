@@ -71,6 +71,30 @@ func ParseFidelity(name string) (Fidelity, error) { return core.ParseFidelity(na
 // Schemes lists every scheme in comparison order.
 func Schemes() []Scheme { return core.Schemes() }
 
+// PersistStrategy selects the metadata persistence policy: which integrity
+// metadata (BMT leaf digests, inner nodes) persists alongside every counter
+// write and whether supplementary CoW-table updates write through eagerly.
+// Set it via Config.Mem.Core.Persist; nil means strict write-through.
+type PersistStrategy = core.PersistStrategy
+
+// StrictPersist is the strict write-through strategy (the default): every
+// metadata persist point lands durably in program order.
+func StrictPersist() PersistStrategy { return core.StrictPersist() }
+
+// PhoenixPersist is the Phoenix-style lazy-tree strategy: leaf digests
+// persist eagerly, the tree interior and CoW-table inserts stay volatile
+// until eviction or drain, and recovery rebuilds the interior.
+func PhoenixPersist() PersistStrategy { return core.PhoenixPersist() }
+
+// TriadPersist is the Triad-NVM-style leveled strategy persisting the given
+// number of metadata levels (1 = counters only, 2 = +leaf digests, each
+// further level one more inner tree level).
+func TriadPersist(level int) PersistStrategy { return core.TriadPersist(level) }
+
+// ParsePersist maps a strategy name ("strict", "phoenix", "triad:N") to its
+// PersistStrategy.
+func ParsePersist(name string) (PersistStrategy, error) { return core.ParsePersist(name) }
+
 // Config assembles a simulated machine (memory subsystem + kernel).
 type Config = sim.Config
 
