@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-json-timing nopanic crash-sweep probe-smoke persist-matrix verify
+.PHONY: all build vet test race bench bench-json bench-json-timing bench-json-mlp nopanic crash-sweep probe-smoke persist-matrix mlp-smoke verify
 
 all: verify
 
@@ -13,14 +13,17 @@ vet:
 test:
 	$(GO) test ./...
 
-# The grid runner and the experiment harness are the only concurrent
-# code in the repository; -short keeps the race pass CI-sized while
-# still exercising every RunGrid path (the determinism tests run
-# multi-worker grids even in short mode). The crash-sweep tests run
-# their cells in parallel, so the fault plane rides along; the probe
-# plane is per-machine state, so its sim-level tests ride too.
+# The grid runner, the experiment harness and the MLP issue-window pool
+# are the concurrent code in the repository; -short keeps the race pass
+# CI-sized while still exercising every RunGrid path (the determinism
+# tests run multi-worker grids even in short mode). The crash-sweep
+# tests run their cells in parallel, so the fault plane rides along; the
+# probe plane is per-machine state, so its sim-level tests ride too. The
+# nvm and issuewin packages carry the MSHR file and the deterministic
+# pool; the sim MLP determinism tests drive the pooled page engines and
+# recovery passes multi-worker under the detector.
 race:
-	$(GO) test -race -short ./internal/sim/... ./internal/experiments/... ./internal/faultinject/... ./internal/probe/...
+	$(GO) test -race -short ./internal/sim/... ./internal/experiments/... ./internal/faultinject/... ./internal/probe/... ./internal/nvm/... ./internal/issuewin/...
 
 # No panic() may be reachable from the public Machine/Controller API:
 # internal-invariant failures surface as typed errors through Run.
@@ -54,6 +57,18 @@ probe-smoke:
 	$(GO) run ./cmd/lelantus-sim -probe-check /tmp/lelantus-probe-smoke.json
 	@rm -f /tmp/lelantus-probe-smoke.json
 
+# MLP smoke: the -mlp=off byte-identity and knob-inertness pins, the
+# mlp=on fidelity/pool-size determinism properties, the MSHR/bank unit
+# tests, the bank-parallel recovery model, and a CLI run with the
+# overlapped engine on.
+mlp-smoke:
+	$(GO) test -count=1 ./internal/nvm ./internal/issuewin
+	$(GO) test -count=1 ./internal/core -run 'TestMLP'
+	$(GO) test -count=1 ./internal/memctrl -run 'TestRecoveryNsMLPFormula|TestRecoveryReportMLPInvariant'
+	$(GO) test -count=1 ./internal/sim -run 'TestMLP'
+	$(GO) test -count=1 -race ./internal/sim -run 'TestMLPOnPoolSizeDeterminism|TestMLPGridConcurrent'
+	$(GO) run ./cmd/lelantus-sim -workload forkbench -fidelity timing -mlp=on >/dev/null
+
 bench:
 	$(GO) test -bench=. -benchmem -run=^$$ ./...
 
@@ -67,7 +82,7 @@ bench:
 bench-json:
 	{ $(GO) test -run '^$$' -bench '^(BenchmarkReadLine|BenchmarkWriteLine)$$' \
 	      -benchmem -benchtime 0.2s . ; \
-	  $(GO) test -run '^$$' -bench '^BenchmarkFig9$$' -benchtime 2x . ; } \
+	  $(GO) test -run '^$$' -bench '^(BenchmarkFig9|BenchmarkPagePhyc|BenchmarkOverflowSweep|BenchmarkRecoveryScrub)$$' -benchtime 2x . ; } \
 	  | $(GO) run ./cmd/benchjson > BENCH_hotpath.json
 
 # bench-json-timing runs the same benchmarks with the crypto data plane
@@ -79,7 +94,22 @@ bench-json-timing:
 	      -bench '^(BenchmarkReadLine|BenchmarkWriteLine)$$' \
 	      -benchmem -benchtime 0.2s . ; \
 	  LELANTUS_FIDELITY=timing $(GO) test -run '^$$' \
-	      -bench '^BenchmarkFig9$$' -benchtime 2x . ; } \
+	      -bench '^(BenchmarkFig9|BenchmarkPagePhyc|BenchmarkOverflowSweep|BenchmarkRecoveryScrub)$$' -benchtime 2x . ; } \
 	  | $(GO) run ./cmd/benchjson > BENCH_timing.json
 
-verify: build vet nopanic test race crash-sweep persist-matrix probe-smoke
+# bench-json-mlp reruns the timing-fidelity benchmarks with the
+# MSHR-overlapped engine on into BENCH_mlp.json; the names match
+# bench-json-timing's, so `go run ./cmd/benchjson -compare -metric sim-ns
+# BENCH_timing.json BENCH_mlp.json` prints the simulated-wall-clock
+# speedup the MLP model charges per cell — the deliverable; MLP moves
+# simulated timestamps, not host work (plain ns/op only shows the pool
+# on multi-core hosts at full fidelity, and host noise elsewhere).
+bench-json-mlp:
+	{ LELANTUS_MLP=on LELANTUS_FIDELITY=timing $(GO) test -run '^$$' \
+	      -bench '^(BenchmarkReadLine|BenchmarkWriteLine)$$' \
+	      -benchmem -benchtime 0.2s . ; \
+	  LELANTUS_MLP=on LELANTUS_FIDELITY=timing $(GO) test -run '^$$' \
+	      -bench '^(BenchmarkFig9|BenchmarkPagePhyc|BenchmarkOverflowSweep|BenchmarkRecoveryScrub)$$' -benchtime 2x . ; } \
+	  | $(GO) run ./cmd/benchjson > BENCH_mlp.json
+
+verify: build vet nopanic test race crash-sweep persist-matrix probe-smoke mlp-smoke

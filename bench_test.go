@@ -28,11 +28,21 @@ func benchFidelity() core.Fidelity {
 	return core.FidelityFull
 }
 
+// benchMLP selects the memory-level-parallelism model for every benchmark
+// from the LELANTUS_MLP environment variable ("on" enables the
+// MSHR-overlapped engine). `make bench-json-mlp` sets it so BENCH_mlp.json
+// carries the same benchmark names as BENCH_timing.json and `benchjson
+// -compare` lines up the speedup per cell.
+func benchMLP() core.MLPConfig {
+	return core.MLPConfig{Enabled: os.Getenv("LELANTUS_MLP") == "on"}
+}
+
 func quickOpts() experiments.Options {
 	o := experiments.DefaultOptions()
 	o.Quick = true
 	o.MemBytes = 256 << 20
 	o.Fidelity = benchFidelity()
+	o.MLP = benchMLP()
 	return o
 }
 
@@ -77,6 +87,7 @@ func BenchmarkFig9(b *testing.B) {
 						cfg := sim.DefaultConfig(s)
 						cfg.Mem.MemBytes = o.MemBytes
 						cfg.Mem.Core.Fidelity = o.Fidelity
+						cfg.Mem.Core.MLP = o.MLP
 						res, err := sim.RunWith(cfg, script)
 						if err != nil {
 							b.Fatal(err)
@@ -134,6 +145,7 @@ func BenchmarkGridRun(b *testing.B) {
 			cfg := sim.DefaultConfig(s)
 			cfg.Mem.MemBytes = o.MemBytes
 			cfg.Mem.Core.Fidelity = o.Fidelity
+			cfg.Mem.Core.MLP = o.MLP
 			jobs = append(jobs, sim.GridJob{
 				Tag:    spec.Name + "/" + s.String(),
 				Config: cfg,
@@ -161,6 +173,7 @@ func benchEngine(b *testing.B, s core.Scheme) (*core.Engine, []uint64) {
 	cfg := sim.DefaultConfig(s)
 	cfg.Mem.MemBytes = 64 << 20
 	cfg.Mem.Core.Fidelity = benchFidelity()
+	cfg.Mem.Core.MLP = benchMLP()
 	m, err := sim.NewMachine(cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -228,6 +241,7 @@ func BenchmarkPageCopyCommand(b *testing.B) {
 		cfg := sim.DefaultConfig(core.Lelantus)
 		cfg.Mem.MemBytes = 64 << 20
 		cfg.Mem.Core.Fidelity = benchFidelity()
+		cfg.Mem.Core.MLP = benchMLP()
 		m, err := sim.NewMachine(cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -247,6 +261,7 @@ func BenchmarkPageCopyCommand(b *testing.B) {
 		cfg := sim.DefaultConfig(core.Baseline)
 		cfg.Mem.MemBytes = 64 << 20
 		cfg.Mem.Core.Fidelity = benchFidelity()
+		cfg.Mem.Core.MLP = benchMLP()
 		m, err := sim.NewMachine(cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -262,4 +277,117 @@ func BenchmarkPageCopyCommand(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkPagePhyc measures the deferred physical-copy command — the
+// copy-heavy cell the batched MLP chain walk targets. Each iteration plants
+// a metadata-only page_copy and then materialises it line by line with
+// page_phyc, so the chain walk, the per-line reads and the destination
+// writes are all on the measured path.
+func BenchmarkPagePhyc(b *testing.B) {
+	for _, s := range []core.Scheme{core.Lelantus, core.LelantusCoW} {
+		b.Run(s.String(), func(b *testing.B) {
+			cfg := sim.DefaultConfig(s)
+			cfg.Mem.MemBytes = 64 << 20
+			cfg.Mem.Core.Fidelity = benchFidelity()
+			cfg.Mem.Core.MLP = benchMLP()
+			m, err := sim.NewMachine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var line [64]byte
+			line[0] = 0x5A
+			for i := 0; i < 64; i++ {
+				if _, err := m.Ctl.StoreNT(0, 1<<12|uint64(i)<<6, &line); err != nil {
+					b.Fatal(err)
+				}
+			}
+			var simNs uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				dst := uint64(2 + i%1000)
+				ct, err := m.Ctl.PageCopy(0, 1, dst)
+				if err != nil {
+					b.Fatal(err)
+				}
+				pt, _, err := m.Ctl.PagePhyc(0, 1, dst)
+				if err != nil {
+					b.Fatal(err)
+				}
+				simNs += ct + pt
+			}
+			b.ReportMetric(float64(simNs)/float64(b.N), "sim-ns")
+		})
+	}
+}
+
+// BenchmarkOverflowSweep measures the minor-counter overflow re-encryption
+// sweep: hammering one line overflows its minor counter every few stores,
+// so the 64-line page re-encryption dominates — the sweep-heavy cell the
+// batched MLP path targets.
+func BenchmarkOverflowSweep(b *testing.B) {
+	for _, s := range []core.Scheme{core.Lelantus, core.LelantusCoW} {
+		b.Run(s.String(), func(b *testing.B) {
+			e, addrs := benchEngine(b, s)
+			var plain [64]byte
+			var simNs uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				plain[0] = byte(i)
+				wt, err := e.WriteLine(0, addrs[0], &plain)
+				if err != nil {
+					b.Fatal(err)
+				}
+				simNs += wt
+			}
+			b.ReportMetric(float64(e.Stats.Overflows)/float64(b.N), "overflows/op")
+			b.ReportMetric(float64(simNs)/float64(b.N), "sim-ns")
+		})
+	}
+}
+
+// BenchmarkRecoveryScrub measures the post-crash metadata scrub over a
+// machine with a real working set: counter-block scan, tree re-verify,
+// chain-invariant walk and the per-line MAC scrub — the recovery cell the
+// pooled MLP passes target.
+func BenchmarkRecoveryScrub(b *testing.B) {
+	for _, s := range []core.Scheme{core.Lelantus, core.LelantusCoW} {
+		b.Run(s.String(), func(b *testing.B) {
+			cfg := sim.DefaultConfig(s)
+			cfg.Mem.MemBytes = 64 << 20
+			cfg.Mem.Core.Fidelity = benchFidelity()
+			cfg.Mem.Core.MLP = benchMLP()
+			m, err := sim.NewMachine(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var line [64]byte
+			line[0] = 0x5A
+			for pfn := uint64(1); pfn <= 64; pfn++ {
+				for i := 0; i < 64; i += 4 {
+					if _, err := m.Ctl.StoreNT(0, pfn<<12|uint64(i)<<6, &line); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			for dst := uint64(100); dst < 116; dst++ {
+				if _, err := m.Ctl.PageCopy(0, 1, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := m.Ctl.Crash(1<<30, true); err != nil {
+				b.Fatal(err)
+			}
+			var simNs uint64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rep, err := m.Ctl.Recover()
+				if err != nil {
+					b.Fatal(err)
+				}
+				simNs += rep.RecoveryNs
+			}
+			b.ReportMetric(float64(simNs)/float64(b.N), "sim-ns")
+		})
+	}
 }

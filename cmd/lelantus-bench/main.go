@@ -7,6 +7,7 @@
 //	lelantus-bench -quick          # reduced sizes (seconds, not minutes)
 //	lelantus-bench -parallel 8     # fan independent runs over 8 workers
 //	lelantus-bench -fidelity full  # force the full crypto data plane
+//	lelantus-bench -mlp=on         # MSHR-overlapped metadata path
 //	lelantus-bench -json           # machine-readable report output
 //	lelantus-bench -list           # list experiment identifiers
 //
@@ -42,6 +43,11 @@ func run() int {
 	parallel := flag.Int("parallel", 0, "worker pool for independent simulation runs (0 = all CPUs); reports are byte-identical at any setting")
 	fidelity := flag.String("fidelity", "auto", "full | timing | auto (timing for '-exp all', full otherwise); reports are byte-identical either way")
 	persistName := flag.String("persist", "strict", "metadata persistence strategy: strict | phoenix | triad:N (persist-matrix overrides per cell)")
+	mlpName := flag.String("mlp", "off", "memory-level parallelism: off (serial engine) | on (MSHR-overlapped metadata path; mlp-matrix overrides per cell)")
+	mshrs := flag.Int("mshrs", 0, "MSHR registers for -mlp=on (0 = default 8)")
+	mlpWorkers := flag.Int("mlp-workers", 0, "goroutine pool for the batched page engines under -mlp=on (0 = all CPUs); reports are identical at any setting")
+	ranks := flag.Int("ranks", 0, "NVM ranks (0 = default 2)")
+	banks := flag.Int("banks", 0, "NVM banks per rank (0 = default 8)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	list := flag.Bool("list", false, "list experiment identifiers and exit")
@@ -81,6 +87,14 @@ func run() int {
 		return 2
 	}
 	o.Persist = persist
+	mlpOn, err := lelantus.ParseMLP(*mlpName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lelantus-bench: %v\n", err)
+		return 2
+	}
+	o.MLP = lelantus.MLPConfig{Enabled: mlpOn, MSHRs: *mshrs, Workers: *mlpWorkers}
+	o.Ranks = *ranks
+	o.BanksPerRank = *banks
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)

@@ -9,6 +9,7 @@
 //	lelantus-sim -workload forkbench -faultseed 7 -faultpoints
 //	lelantus-sim -workload forkbench -faultseed 7 -crashpoint 120
 //	lelantus-sim -workload forkbench -scheme lelantus-cow -persist phoenix
+//	lelantus-sim -workload forkbench -scheme lelantus -mlp=on -mshrs 16 -banks 16
 //	lelantus-sim -workload forkbench -probe -probe-format=perfetto -probe-out trace.json
 //	lelantus-sim -probe-check trace.json
 //	lelantus-sim -list
@@ -47,6 +48,11 @@ func run() int {
 	memMB := flag.Uint64("mem", 512, "simulated NVM capacity in MiB")
 	fidelityName := flag.String("fidelity", "full", "full | timing (timing elides the crypto data plane; measurements are identical)")
 	persistName := flag.String("persist", "strict", "metadata persistence strategy: strict | phoenix | triad:N")
+	mlpName := flag.String("mlp", "off", "memory-level parallelism: off (serial engine) | on (MSHR-overlapped metadata path); measurements change, traffic does not")
+	mshrs := flag.Int("mshrs", 0, "MSHR registers for -mlp=on (0 = default 8)")
+	mlpWorkers := flag.Int("mlp-workers", 0, "goroutine pool for the batched page engines under -mlp=on (0 = all CPUs); output is identical at any setting")
+	ranks := flag.Int("ranks", 0, "NVM ranks (0 = default 2)")
+	banks := flag.Int("banks", 0, "NVM banks per rank (0 = default 8)")
 	compare := flag.Bool("compare", false, "also run the baseline and report speedup")
 	all := flag.Bool("all", false, "run the workload under every scheme and compare")
 	parallel := flag.Int("parallel", 0, "worker pool for -all (0 = all CPUs); output is identical at any setting")
@@ -122,6 +128,11 @@ func run() int {
 	if err != nil {
 		return fail(err)
 	}
+	mlpOn, err := lelantus.ParseMLP(*mlpName)
+	if err != nil {
+		return fail(err)
+	}
+	mlp := lelantus.MLPConfig{Enabled: mlpOn, MSHRs: *mshrs, Workers: *mlpWorkers}
 	var script workload.Script
 	if *replay != "" {
 		f, err := os.Open(*replay)
@@ -157,11 +168,29 @@ func run() int {
 	if *disasm {
 		trace.Disassemble(os.Stdout, script, 40)
 	}
+	// machineCfg stamps every shared machine knob onto a scheme's default
+	// config; each run site (single, -compare baseline, -all grid) goes
+	// through it so the flags apply uniformly.
+	machineCfg := func(s lelantus.Scheme) lelantus.Config {
+		c := lelantus.DefaultConfig(s)
+		c.Mem.MemBytes = *memMB << 20
+		c.Mem.Core.Fidelity = fidelity
+		c.Mem.Core.Persist = persist
+		c.Mem.Core.MLP = mlp
+		if *ranks > 0 {
+			c.Mem.NVM.Ranks = *ranks
+		}
+		if *banks > 0 {
+			c.Mem.NVM.BanksPerRank = *banks
+		}
+		return c
+	}
+
 	if *all {
 		if *probeOn {
 			return fail(fmt.Errorf("-probe traces a single machine; it cannot be combined with -all"))
 		}
-		return runAll(script, *memMB, fidelity, persist, *parallel, *asJSON)
+		return runAll(script, machineCfg, *parallel, *asJSON)
 	}
 
 	var pl *lelantus.Probe
@@ -174,10 +203,7 @@ func run() int {
 		pl = lelantus.NewProbe(lelantus.ProbeConfig{SampleNs: *probeSampleNs})
 	}
 
-	cfg := lelantus.DefaultConfig(scheme)
-	cfg.Mem.MemBytes = *memMB << 20
-	cfg.Mem.Core.Fidelity = fidelity
-	cfg.Mem.Core.Persist = persist
+	cfg := machineCfg(scheme)
 	cfg.Mem.Probe = pl
 
 	if *faultPoints {
@@ -251,13 +277,7 @@ func run() int {
 	}
 
 	if *compare && scheme != lelantus.Baseline {
-		base, err := lelantus.RunWith(func() lelantus.Config {
-			c := lelantus.DefaultConfig(lelantus.Baseline)
-			c.Mem.MemBytes = *memMB << 20
-			c.Mem.Core.Fidelity = fidelity
-			c.Mem.Core.Persist = persist
-			return c
-		}(), script)
+		base, err := lelantus.RunWith(machineCfg(lelantus.Baseline), script)
 		if err != nil {
 			return fail(err)
 		}
@@ -298,15 +318,11 @@ func exportProbe(pl *lelantus.Probe, out, format string) int {
 
 // runAll fans the script out over every scheme on a worker pool; the
 // Baseline row (always index 0) anchors the speedup and write columns.
-func runAll(script workload.Script, memMB uint64, fidelity lelantus.Fidelity, persist lelantus.PersistStrategy, parallel int, asJSON bool) int {
+func runAll(script workload.Script, machineCfg func(lelantus.Scheme) lelantus.Config, parallel int, asJSON bool) int {
 	schemes := lelantus.Schemes()
 	jobs := make([]lelantus.GridJob, len(schemes))
 	for i, s := range schemes {
-		cfg := lelantus.DefaultConfig(s)
-		cfg.Mem.MemBytes = memMB << 20
-		cfg.Mem.Core.Fidelity = fidelity
-		cfg.Mem.Core.Persist = persist
-		jobs[i] = lelantus.GridJob{Tag: s.String(), Config: cfg, Script: script}
+		jobs[i] = lelantus.GridJob{Tag: s.String(), Config: machineCfg(s), Script: script}
 	}
 	results, err := lelantus.RunGrid(jobs, parallel)
 	if err != nil {

@@ -74,7 +74,9 @@ type Tree struct {
 
 	// mac is the reusable keyed HMAC state; idxBuf/childBuf/sumBuf are the
 	// scratch buffers handed to it (struct fields, so the interface call
-	// does not force a heap allocation per operation).
+	// does not force a heap allocation per operation). key is retained so
+	// NewLeafVerifier can derive independent states for concurrent readers.
+	key      []byte
 	mac      hash.Hash
 	idxBuf   [8]byte
 	childBuf [hashSize]byte
@@ -98,7 +100,7 @@ func New(key []byte, nBlocks uint64) *Tree {
 	for span := uint64(1); span < nBlocks; span *= Arity {
 		levels++
 	}
-	t := &Tree{levels: levels, mac: hmac.New(sha256.New, key)}
+	t := &Tree{levels: levels, mac: hmac.New(sha256.New, key), key: append([]byte(nil), key...)}
 	t.nodes = make([]map[uint64][hashSize]byte, levels)
 	t.dirty = make([]map[uint64]struct{}, levels)
 	for i := range t.nodes {
@@ -374,6 +376,7 @@ type macPage struct {
 // fails verification. Not safe for concurrent use (single reusable HMAC
 // state, like Tree).
 type MACStore struct {
+	key   []byte // retained for NewVerifier's independent HMAC states
 	mac   hash.Hash
 	pages []*macPage
 
@@ -384,7 +387,7 @@ type MACStore struct {
 
 // NewMACStore creates an empty MAC store with the given key.
 func NewMACStore(key []byte) *MACStore {
-	return &MACStore{mac: hmac.New(sha256.New, key)}
+	return &MACStore{mac: hmac.New(sha256.New, key), key: append([]byte(nil), key...)}
 }
 
 // page returns the MAC page for a line number, materialising it if create

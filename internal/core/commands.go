@@ -203,53 +203,63 @@ func (e *Engine) pagePhyc(now, src, dst uint64) (done uint64, copied int, err er
 	}
 
 	done = t
-	for i := 0; i < mem.LinesPerPage; i++ {
-		if blk.Minor[i] != 0 {
-			continue
+	if e.mlpOn() {
+		// MLP: walk the redirect chain once for the whole page and batch
+		// the per-line work over the issue-window pool; the serial loop
+		// below re-resolves the chain per line.
+		done, copied, err = e.phycLinesBatched(t, src, dst, &blk)
+		if err != nil {
+			return done, copied, err
 		}
-		// Resolve through the source (and any chain behind it).
-		plain, rt, rerr := e.resolve(t, mem.LineAddr(src, i))
-		if rerr != nil {
-			return rt, copied, rerr
-		}
-		la := mem.LineAddr(dst, i)
-		lineNo := mem.LineNo(la)
-		blk.Minor[i] = 1
-		e.written.Set(lineNo)
-		var wt uint64
-		var dec faultinject.Decision
-		switch {
-		case e.cfg.NonSecure:
-			dec = e.persistDataLine(la, &plain)
-			wt = e.Mem.Write(rt, la)
-		case e.cfg.Fidelity == FidelityTiming:
-			// Timing fidelity: plaintext at rest, pad and MAC elided, the
-			// secure path's AES latency charge kept.
-			e.Enc.NotePad()
-			dec = e.persistDataLine(la, &plain)
-			wt = e.Mem.Write(rt+e.cfg.AESLatencyNs, la)
-		default:
-			ciph := e.Enc.Encrypt(&plain, lineNo, blk.Major, blk.Minor[i])
-			dec = e.persistDataLine(la, &ciph)
-			e.MACs.Update(lineNo, ciph[:], blk.Major, blk.Minor[i])
-			wt = e.Mem.Write(rt+e.cfg.AESLatencyNs, la)
-		}
-		e.Stats.DataWrites++
-		e.Stats.PhycLines++
-		copied++
-		e.fiObserve(dec, la, &plain)
-		if dec.Action == faultinject.ActCrash {
-			return wt, copied, dec.Err
-		}
-		// Crash after k of 64 materialised lines: the destination counter
-		// block in NVM still shows every minor zero, so the whole page keeps
-		// redirecting to the (still live) source — no torn half-copy is
-		// visible through the read path.
-		if d := e.fiHit(faultinject.PagePhycLine); d.Action == faultinject.ActCrash {
-			return wt, copied, d.Err
-		}
-		if wt > done {
-			done = wt
+	} else {
+		for i := 0; i < mem.LinesPerPage; i++ {
+			if blk.Minor[i] != 0 {
+				continue
+			}
+			// Resolve through the source (and any chain behind it).
+			plain, rt, rerr := e.resolve(t, mem.LineAddr(src, i))
+			if rerr != nil {
+				return rt, copied, rerr
+			}
+			la := mem.LineAddr(dst, i)
+			lineNo := mem.LineNo(la)
+			blk.Minor[i] = 1
+			e.written.Set(lineNo)
+			var wt uint64
+			var dec faultinject.Decision
+			switch {
+			case e.cfg.NonSecure:
+				dec = e.persistDataLine(la, &plain)
+				wt = e.Mem.Write(rt, la)
+			case e.cfg.Fidelity == FidelityTiming:
+				// Timing fidelity: plaintext at rest, pad and MAC elided, the
+				// secure path's AES latency charge kept.
+				e.Enc.NotePad()
+				dec = e.persistDataLine(la, &plain)
+				wt = e.Mem.Write(rt+e.cfg.AESLatencyNs, la)
+			default:
+				ciph := e.Enc.Encrypt(&plain, lineNo, blk.Major, blk.Minor[i])
+				dec = e.persistDataLine(la, &ciph)
+				e.MACs.Update(lineNo, ciph[:], blk.Major, blk.Minor[i])
+				wt = e.Mem.Write(rt+e.cfg.AESLatencyNs, la)
+			}
+			e.Stats.DataWrites++
+			e.Stats.PhycLines++
+			copied++
+			e.fiObserve(dec, la, &plain)
+			if dec.Action == faultinject.ActCrash {
+				return wt, copied, dec.Err
+			}
+			// Crash after k of 64 materialised lines: the destination counter
+			// block in NVM still shows every minor zero, so the whole page
+			// keeps redirecting to the (still live) source — no torn
+			// half-copy is visible through the read path.
+			if d := e.fiHit(faultinject.PagePhycLine); d.Action == faultinject.ActCrash {
+				return wt, copied, d.Err
+			}
+			if wt > done {
+				done = wt
+			}
 		}
 	}
 

@@ -58,6 +58,11 @@ func (e *Engine) fiObserve(dec faultinject.Decision, addr uint64, plain *[mem.Li
 // found.
 func (e *Engine) resolve(now, lineAddr uint64) ([mem.LineBytes]byte, uint64, error) {
 	cur := lineAddr
+	// issueT is the instant the *current* target address became known: the
+	// earliest legal issue time of the line's data fetch under MLP. It
+	// trails t (counter-resolution time) by exactly one counter-block load
+	// per hop.
+	issueT := now
 	blk, t, err := e.loadBlock(now, mem.PageOf(cur))
 	if err != nil {
 		return zeroLine, t, err
@@ -99,6 +104,11 @@ func (e *Engine) resolve(now, lineAddr uint64) ([mem.LineBytes]byte, uint64, err
 			break
 		}
 		hops++
+		// Dependence-ordered: the next hop's page number comes out of the
+		// counter block just decoded (and, for Lelantus-CoW, its table
+		// entry), so chain hops can never overlap each other — even under
+		// MLP only the final data fetch runs ahead.
+		issueT = t
 		if blk, t, err = e.loadBlock(t, mem.PageOf(cur)); err != nil {
 			return zeroLine, t, err
 		}
@@ -117,20 +127,45 @@ func (e *Engine) resolve(now, lineAddr uint64) ([mem.LineBytes]byte, uint64, err
 		// The line was never encrypted to NVM (e.g. the shared zero frame):
 		// its plaintext is zeros. The fetch is still charged — the device
 		// does not know the content is dead.
-		t = e.Mem.Read(t, cur)
+		if e.mlpOn() {
+			// MLP: the fetch issued the moment the address was known,
+			// overlapping the counter fetch; the zero decision itself still
+			// needs the counter, so retire is the later of the two.
+			t = maxU64(t, e.mshrRead(issueT, cur))
+		} else {
+			t = e.Mem.Read(t, cur)
+		}
 		e.Stats.DataReads++
 		e.Stats.ZeroReads++
 		return zeroLine, t, nil
 	}
 	var ciph [mem.LineBytes]byte
 	e.Phys.ReadLine(cur, &ciph)
-	fetchDone := e.Mem.Read(t, cur)
+	var fetchDone uint64
+	if e.mlpOn() {
+		// MLP: issue the data fetch when the final address became known —
+		// for chains, when the last redirect was decoded — instead of after
+		// the final counter block returns. The counter fetch, its BMT
+		// verify and the data read then occupy distinct banks concurrently
+		// (this models an always-correct no-redirect predictor: traffic is
+		// identical to the serial engine, only completion moves).
+		fetchDone = e.mshrRead(issueT, cur)
+	} else {
+		fetchDone = e.Mem.Read(t, cur)
+	}
 	e.Stats.DataReads++
 	if e.cfg.NonSecure {
-		// Plaintext at rest: no pad, no MAC (paper Section III-G).
+		// Plaintext at rest: no pad, no MAC (paper Section III-G). The
+		// redirect/zero decision still came from the counter block, so
+		// retire cannot precede it.
+		if e.mlpOn() {
+			fetchDone = maxU64(fetchDone, t)
+		}
 		return ciph, fetchDone, nil
 	}
-	// OTP generation overlaps the data fetch (paper Fig. 1).
+	// OTP generation overlaps the data fetch (paper Fig. 1). Dependence-
+	// ordered: the pad needs the counter, so retire is gated on t even when
+	// the fetch itself issued earlier under MLP.
 	done := maxU64(fetchDone, t+e.cfg.AESLatencyNs)
 	if e.cfg.Fidelity == FidelityTiming {
 		// Timing fidelity: the line is at rest as plaintext, so the fetch
@@ -242,6 +277,8 @@ func (e *Engine) writeLine(now, lineAddr uint64, plain *[mem.LineBytes]byte) (ui
 	e.written.Set(lineNo)
 	if e.cfg.NonSecure {
 		dec := e.persistDataLine(lineAddr, plain)
+		// Dependence-ordered: the copy/zero decision above consumed the
+		// counter block, so the data write cannot issue before t.
 		dataDone := e.Mem.Write(t, lineAddr)
 		e.Stats.DataWrites++
 		e.fiObserve(dec, lineAddr, plain)
@@ -278,12 +315,17 @@ func (e *Engine) writeLine(now, lineAddr uint64, plain *[mem.LineBytes]byte) (ui
 	// leaf digests, it describes what *should* be in NVM, so a torn or lost
 	// data write is caught as a MAC mismatch on the next read.
 	e.MACs.Update(lineNo, ciph[:], blk.Major, blk.Minor[li])
+	// Dependence-ordered: the write's pad comes from the counter resolved
+	// at t, so the data write cannot issue before t+AES even under MLP.
 	dataDone := e.Mem.Write(t+e.cfg.AESLatencyNs, lineAddr)
 	e.Stats.DataWrites++
 	e.fiObserve(dec, lineAddr, plain)
 	if dec.Action == faultinject.ActCrash {
 		return dataDone, dec.Err
 	}
+	// Already issue-parallel: the counter-block store issues at t, not at
+	// dataDone — it and the data write overlap via the max-merge below, so
+	// MLP has nothing further to overlap here.
 	ctrDone, err := e.storeBlock(t, pfn, &blk)
 	return maxU64(dataDone, ctrDone), err
 }
@@ -298,6 +340,20 @@ func (e *Engine) reencryptPage(now, pfn uint64, blk *ctr.Block, skipLine int) (u
 	oldMajor := blk.Major
 	oldMinor := blk.Minor
 	reenc := blk.BumpMajor()
+	if e.mlpOn() {
+		// MLP: the sweep's lines are mutually independent (each is read
+		// under the old epoch and written under the new), so the crypto
+		// fans out over the issue-window pool and the NVM legs go through
+		// the MSHR file and the bank queues.
+		done, err := e.reencryptBatched(now, pfn, blk, skipLine, oldMajor, oldMinor, reenc)
+		if err != nil {
+			return done, err
+		}
+		if e.pr != nil {
+			e.pr.Record(probe.EvOverflow, now, done, pfn, e.Stats.ReencryptedLines-lines0)
+		}
+		return done, nil
+	}
 	done := now
 	for _, i := range reenc {
 		if i == skipLine {
@@ -333,6 +389,8 @@ func (e *Engine) reencryptPage(now, pfn uint64, blk *ctr.Block, skipLine int) (u
 		}
 		var ciph [mem.LineBytes]byte
 		e.Phys.ReadLine(la, &ciph)
+		// Already issue-parallel: every sweep read issues at `now` and the
+		// bank queues serialize conflicts — MLP adds only the MSHR gate.
 		rt := e.Mem.Read(now, la)
 		e.Stats.DataReads++
 		if err := e.MACs.Verify(lineNo, ciph[:], oldMajor, oldMinor[i]); err != nil {
@@ -406,6 +464,8 @@ func (e *Engine) lookupCoW(now, pfn uint64) (src uint64, ok bool, done uint64, e
 		}
 		return s, present, done, nil
 	}
+	// Dependence-ordered: the table read is only known to be needed once
+	// the cache lookup missed, so it serializes behind the cache latency.
 	done = e.Mem.Read(done, e.cowMetaAddr(pfn))
 	e.Stats.CoWMetaReads++
 	s, present := e.peekCoWEntry(pfn)
@@ -433,6 +493,8 @@ func (e *Engine) writeCoWEntryNVM(now, dst, src uint64, present bool) (uint64, e
 	addr := e.cowMetaAddr(dst)
 	var raw [mem.LineBytes]byte
 	e.Phys.ReadLine(addr, &raw)
+	// Dependence-ordered RMW: the write below merges the new entry into the
+	// line image this read produces, so the pair can never overlap.
 	now = e.Mem.Read(now, addr)
 	e.Stats.CoWMetaReads++
 	off := (dst * 8) % mem.LineBytes

@@ -157,6 +157,10 @@ type Config struct {
 	// behaviour, kept byte-identical so every zero-value configuration is
 	// unaffected by the strategy plumbing.
 	Persist PersistStrategy
+	// MLP models memory-level parallelism (see MLPConfig). The zero value
+	// is disabled: every access chain stays fully serial and every report
+	// byte is identical to the pre-MLP engine.
+	MLP MLPConfig
 }
 
 // DefaultConfig returns the paper's parameters for a given scheme.
@@ -271,6 +275,11 @@ type Engine struct {
 	// TestProbeDisabledAllocFree).
 	pr *probe.Plane
 
+	// mshr is the miss-status holding register file gating overlapped legs
+	// when MLP is enabled; nil means MLP off (the hot paths branch on the
+	// nil check, so the serial engine pays one compare).
+	mshr *nvm.MSHRFile
+
 	// written marks lines that have ever been encrypted to NVM; reads of
 	// never-written lines return zeros (fresh memory). Dense bitset, one
 	// bit per data line — consulted on every read and set on every write.
@@ -291,6 +300,10 @@ func NewEngine(cfg Config, layout Layout, phys *mem.Physical, dev *nvm.Device,
 	cc *ctrcache.Cache, cowCache *ctrcache.CoWCache) *Engine {
 	pages := layout.DataLimit / mem.PageBytes
 	lines := layout.DataLimit / mem.LineBytes
+	var mshr *nvm.MSHRFile
+	if cfg.MLP.Enabled {
+		mshr = nvm.NewMSHRFile(cfg.MLP.MSHRs)
+	}
 	return &Engine{
 		cfg:         cfg,
 		layout:      layout,
@@ -308,6 +321,7 @@ func NewEngine(cfg Config, layout Layout, phys *mem.Physical, dev *nvm.Device,
 		written:     bitset.New(lines),
 		tracked:     bitset.New(pages),
 		footprint:   make(map[uint64]uint64),
+		mshr:        mshr,
 	}
 }
 
@@ -331,9 +345,14 @@ func (e *Engine) AttachFaultPlane(p *faultinject.Plane, queueFronted bool) {
 }
 
 // AttachProbe wires the observability plane into every emission site. A nil
-// plane (the default) keeps every site a single pointer compare.
+// plane (the default) keeps every site a single pointer compare. With MLP
+// enabled it also installs the device bank-queue depth probe — gated on MLP
+// so MLP-off probe exports stay byte-identical to pre-MLP ones.
 func (e *Engine) AttachProbe(p *probe.Plane) {
 	e.pr = p
+	if p != nil && e.mshr != nil && e.Dev != nil {
+		e.Dev.SetQueueProbe(func(bank, depth int) { p.ObserveBankQueue(depth) })
+	}
 }
 
 // Probe returns the attached observability plane (nil when disabled).
@@ -434,6 +453,9 @@ func (e *Engine) loadBlock(now, pfn uint64) (ctr.Block, uint64, error) {
 	done = e.Mem.Read(done, addr)
 	e.Stats.CtrReads++
 	if !e.cfg.NonSecure {
+		// Dependence-ordered: the BMT verify consumes the block bytes the
+		// read just produced, so its charge serializes after the fetch even
+		// under MLP (only the *data* fetch can run ahead of it).
 		done += e.cfg.VerifyNs
 		if err := e.Tree.Verify(pfn, raw[:]); err != nil {
 			return ctr.Block{}, done, err

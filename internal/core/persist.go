@@ -73,10 +73,10 @@ func (strictPersist) NodesPerCounterPersist(treeLevels int) uint64 {
 
 type phoenixPersist struct{}
 
-func (phoenixPersist) Name() string                 { return "phoenix" }
-func (phoenixPersist) LeafDigestsDurable() bool     { return true }
-func (phoenixPersist) DurableInnerLevels(int) int   { return 0 }
-func (phoenixPersist) EagerCoWMeta() bool           { return false }
+func (phoenixPersist) Name() string               { return "phoenix" }
+func (phoenixPersist) LeafDigestsDurable() bool   { return true }
+func (phoenixPersist) DurableInnerLevels(int) int { return 0 }
+func (phoenixPersist) EagerCoWMeta() bool         { return false }
 func (phoenixPersist) NodesPerCounterPersist(treeLevels int) uint64 {
 	if treeLevels < 1 {
 		return 0

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sort"
 
+	"lelantus/internal/bmt"
 	"lelantus/internal/ctr"
+	"lelantus/internal/issuewin"
 	"lelantus/internal/mem"
 	"lelantus/internal/probe"
 )
@@ -138,31 +140,66 @@ func (e *Engine) Recover() (*RecoveryReport, error) {
 	// Pass 1: counter-block scan against (or rebuild of) the leaf digests.
 	torn := make(map[uint64]bool)
 	leafDurable := strat.LeafDigestsDurable()
-	for pfn := uint64(0); pfn < pages; pfn++ {
-		if !e.initialised.Test(pfn) {
-			continue
+	if e.mlpOn() && secure && leafDurable && hashing {
+		// MLP: per-block digest checks are independent and read-only
+		// (LeafVerifier never touches the tree, Phys reads are concurrent-
+		// safe), so they fan out over the issue-window pool; the serial
+		// merge below walks the outputs in pfn order, so the report is
+		// byte-identical at any pool size. The rebuild mode (no durable
+		// digests) stays serial: ResetLeaf mutates the tree.
+		cand := make([]uint64, 0, pages)
+		for pfn := uint64(0); pfn < pages; pfn++ {
+			if e.initialised.Test(pfn) {
+				cand = append(cand, pfn)
+			}
 		}
-		rep.BlocksScanned++
-		if !secure {
-			continue
-		}
-		if !leafDurable {
-			var raw [ctr.BlockBytes]byte
-			e.Phys.ReadLine(e.ctrAddr(pfn), &raw)
-			e.Tree.ResetLeaf(pfn, raw[:])
-			rep.LeavesRebuilt++
-			continue
-		}
-		if !hashing {
-			continue
-		}
-		var raw [ctr.BlockBytes]byte
-		e.Phys.ReadLine(e.ctrAddr(pfn), &raw)
-		if err := e.Tree.VerifyLeaf(pfn, raw[:]); err != nil {
+		rep.BlocksScanned = uint64(len(cand))
+		tornFlags := make([]bool, len(cand))
+		issuewin.RunWith(e.cfg.MLP.workers(), len(cand),
+			func() *bmt.LeafVerifier { return e.Tree.NewLeafVerifier() },
+			func(v *bmt.LeafVerifier, j int) {
+				var raw [ctr.BlockBytes]byte
+				e.Phys.ReadLine(e.ctrAddr(cand[j]), &raw)
+				tornFlags[j] = v.Verify(cand[j], raw[:]) != nil
+			})
+		for j, bad := range tornFlags {
+			if !bad {
+				continue
+			}
+			pfn := cand[j]
 			rep.TornBlocks++
 			torn[pfn] = true
 			if uint64(len(rep.TornPages)) < reportListCap {
 				rep.TornPages = append(rep.TornPages, pfn)
+			}
+		}
+	} else {
+		for pfn := uint64(0); pfn < pages; pfn++ {
+			if !e.initialised.Test(pfn) {
+				continue
+			}
+			rep.BlocksScanned++
+			if !secure {
+				continue
+			}
+			if !leafDurable {
+				var raw [ctr.BlockBytes]byte
+				e.Phys.ReadLine(e.ctrAddr(pfn), &raw)
+				e.Tree.ResetLeaf(pfn, raw[:])
+				rep.LeavesRebuilt++
+				continue
+			}
+			if !hashing {
+				continue
+			}
+			var raw [ctr.BlockBytes]byte
+			e.Phys.ReadLine(e.ctrAddr(pfn), &raw)
+			if err := e.Tree.VerifyLeaf(pfn, raw[:]); err != nil {
+				rep.TornBlocks++
+				torn[pfn] = true
+				if uint64(len(rep.TornPages)) < reportListCap {
+					rep.TornPages = append(rep.TornPages, pfn)
+				}
 			}
 		}
 	}
@@ -241,30 +278,90 @@ func (e *Engine) Recover() (*RecoveryReport, error) {
 	// Pass 4: MAC scrub of written lines on pages whose counter block
 	// survived intact (a torn block already invalidates the whole page).
 	if secure {
-		for pfn := uint64(0); pfn < pages; pfn++ {
-			if !e.initialised.Test(pfn) || torn[pfn] {
-				continue
-			}
-			blk, ok := e.peekBlock(pfn)
-			if !ok {
-				continue
-			}
-			for i := 0; i < mem.LinesPerPage; i++ {
-				la := mem.LineAddr(pfn, i)
-				lineNo := mem.LineNo(la)
-				if blk.Minor[i] == 0 || !e.written.Test(lineNo) {
-					continue
+		if e.mlpOn() {
+			// MLP: the per-page scrub is read-only (peekBlock is
+			// side-effect-free, MACVerifier owns its HMAC state), so pages
+			// fan out over the pool; the merge walks pages in pfn order, so
+			// counts and the LostLines prefix match the serial scrub exactly.
+			cand := make([]uint64, 0, pages)
+			for pfn := uint64(0); pfn < pages; pfn++ {
+				if e.initialised.Test(pfn) && !torn[pfn] {
+					cand = append(cand, pfn)
 				}
-				rep.LinesScrubbed++
-				if !hashing {
-					continue
-				}
-				var ciph [mem.LineBytes]byte
-				e.Phys.ReadLine(la, &ciph)
-				if err := e.MACs.Verify(lineNo, ciph[:], blk.Major, blk.Minor[i]); err != nil {
-					rep.MACMismatches++
+			}
+			type pageScrub struct {
+				scrubbed   uint64
+				mismatches uint64
+				lost       []uint64
+			}
+			out := make([]pageScrub, len(cand))
+			issuewin.RunWith(e.cfg.MLP.workers(), len(cand),
+				func() *bmt.MACVerifier {
+					if hashing {
+						return e.MACs.NewVerifier()
+					}
+					return nil
+				},
+				func(v *bmt.MACVerifier, j int) {
+					pfn := cand[j]
+					blk, ok := e.peekBlock(pfn)
+					if !ok {
+						return
+					}
+					o := &out[j]
+					for i := 0; i < mem.LinesPerPage; i++ {
+						la := mem.LineAddr(pfn, i)
+						lineNo := mem.LineNo(la)
+						if blk.Minor[i] == 0 || !e.written.Test(lineNo) {
+							continue
+						}
+						o.scrubbed++
+						if !hashing {
+							continue
+						}
+						var ciph [mem.LineBytes]byte
+						e.Phys.ReadLine(la, &ciph)
+						if v.Verify(lineNo, ciph[:], blk.Major, blk.Minor[i]) != nil {
+							o.mismatches++
+							o.lost = append(o.lost, la)
+						}
+					}
+				})
+			for j := range out {
+				rep.LinesScrubbed += out[j].scrubbed
+				rep.MACMismatches += out[j].mismatches
+				for _, la := range out[j].lost {
 					if uint64(len(rep.LostLines)) < reportListCap {
 						rep.LostLines = append(rep.LostLines, la)
+					}
+				}
+			}
+		} else {
+			for pfn := uint64(0); pfn < pages; pfn++ {
+				if !e.initialised.Test(pfn) || torn[pfn] {
+					continue
+				}
+				blk, ok := e.peekBlock(pfn)
+				if !ok {
+					continue
+				}
+				for i := 0; i < mem.LinesPerPage; i++ {
+					la := mem.LineAddr(pfn, i)
+					lineNo := mem.LineNo(la)
+					if blk.Minor[i] == 0 || !e.written.Test(lineNo) {
+						continue
+					}
+					rep.LinesScrubbed++
+					if !hashing {
+						continue
+					}
+					var ciph [mem.LineBytes]byte
+					e.Phys.ReadLine(la, &ciph)
+					if err := e.MACs.Verify(lineNo, ciph[:], blk.Major, blk.Minor[i]); err != nil {
+						rep.MACMismatches++
+						if uint64(len(rep.LostLines)) < reportListCap {
+							rep.LostLines = append(rep.LostLines, la)
+						}
 					}
 				}
 			}
@@ -279,19 +376,27 @@ func (e *Engine) Recover() (*RecoveryReport, error) {
 	// every scrubbed line a data read plus a MAC check. The per-pass terms
 	// are recomputable from the report fields and the strategy's declared
 	// durability — TestRecoveryNsFormulaPerPass pins exactly that.
+	//
+	// Under MLP each pass's device reads spread across the banks and its
+	// verifications across an MSHR-sized verify pipeline (recoveryPassNs),
+	// modeling a scrub that streams independent blocks bank-parallel. This
+	// deliberately idealises pass 3 — hops *within* one chain are dependent
+	// — but distinct chains are independent and dominate the read count.
 	devCfg := e.Dev.Config()
 	durableInner := strat.DurableInnerLevels(len(rep.NodesByLevel))
-	pass1 := rep.BlocksScanned*(devCfg.ReadNs+e.cfg.VerifyNs) + rep.LeavesRebuilt*e.cfg.VerifyNs
-	var pass2 uint64
+	pass1 := e.recoveryPassNs(rep.BlocksScanned*devCfg.ReadNs,
+		(rep.BlocksScanned+rep.LeavesRebuilt)*e.cfg.VerifyNs)
+	var pass2dev, pass2ver uint64
 	for l, n := range rep.NodesByLevel {
-		cost := e.cfg.VerifyNs
+		pass2ver += n * e.cfg.VerifyNs
 		if l >= durableInner {
-			cost += devCfg.ReadNs
+			pass2dev += n * devCfg.ReadNs
 		}
-		pass2 += n * cost
 	}
-	pass3 := rep.ChainReads * devCfg.ReadNs
-	pass4 := rep.LinesScrubbed * (devCfg.ReadNs + e.cfg.VerifyNs)
+	pass2 := e.recoveryPassNs(pass2dev, pass2ver)
+	pass3 := e.recoveryPassNs(rep.ChainReads*devCfg.ReadNs, 0)
+	pass4 := e.recoveryPassNs(rep.LinesScrubbed*devCfg.ReadNs,
+		rep.LinesScrubbed*e.cfg.VerifyNs)
 	rep.RecoveryNs = pass1 + pass2 + pass3 + pass4
 
 	e.Stats.Recoveries++

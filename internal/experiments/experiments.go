@@ -50,6 +50,14 @@ type Options struct {
 	// under (nil = strict write-through, the historical behaviour). The
 	// persist-matrix experiment overrides it per cell.
 	Persist core.PersistStrategy
+	// MLP selects the memory-level-parallelism model every machine runs
+	// under (zero value = the serial engine, byte-identical reports). The
+	// mlp-matrix experiment overrides it per cell.
+	MLP core.MLPConfig
+	// Ranks and BanksPerRank override the device geometry when positive
+	// (zero keeps nvm.DefaultConfig's 2 × 8).
+	Ranks        int
+	BanksPerRank int
 
 	// scripts interns generated workload scripts across the experiments of
 	// one option set (set by DefaultOptions; nil just disables sharing).
@@ -102,6 +110,13 @@ func (o Options) machineConfig(scheme core.Scheme, mutate func(*sim.Config)) sim
 	cfg.Mem.MemBytes = o.memBytes()
 	cfg.Mem.Core.Fidelity = o.Fidelity
 	cfg.Mem.Core.Persist = o.Persist
+	cfg.Mem.Core.MLP = o.MLP
+	if o.Ranks > 0 {
+		cfg.Mem.NVM.Ranks = o.Ranks
+	}
+	if o.BanksPerRank > 0 {
+		cfg.Mem.NVM.BanksPerRank = o.BanksPerRank
+	}
 	if o.Probe != nil {
 		cfg.Mem.Probe = probe.New(*o.Probe)
 	}
@@ -184,6 +199,7 @@ func All(o Options) ([]*Report, error) {
 		{"usecases", UseCases},
 		{"ablation-writequeue", AblationWriteQueue},
 		{"persist-matrix", PersistMatrix},
+		{"mlp-matrix", MLPMatrix},
 	}
 	for _, g := range gens {
 		r, err := g.f(o)
@@ -236,6 +252,8 @@ func ByID(o Options, id string) (*Report, error) {
 		return AblationWriteQueue(o)
 	case "persist-matrix":
 		return PersistMatrix(o)
+	case "mlp-matrix":
+		return MLPMatrix(o)
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 }
@@ -246,7 +264,7 @@ func IDs() []string {
 		"fig9-2MB", "fig10", "tableV", "fig11-4KB", "fig11-2MB", "fig12",
 		"ablation-nonsecure", "ablation-cowcache", "ablation-ctrcache",
 		"ablation-wear", "ablation-tlb", "usecases", "ablation-writequeue",
-		"persist-matrix"}
+		"persist-matrix", "mlp-matrix"}
 }
 
 var _ = ctrcache.WriteBack // referenced by fig12.go

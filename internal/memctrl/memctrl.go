@@ -350,6 +350,33 @@ func (c *Controller) CopyPageFull(now, src, dst uint64, nonTemporal bool) (uint6
 	prev := c.SetContext(CtxCopy)
 	defer c.SetContext(prev)
 	done := now
+	if c.Engine.MLPEnabled() {
+		// MLP: the 64 per-line copies are program-ordered but mutually
+		// independent, so each line's load issues at the window start and
+		// its store chains only on its own load; completion is the max over
+		// lines (bank queues and MSHRs spread them out). The serial engine
+		// below instead threads one line's store into the next line's load.
+		for i := 0; i < mem.LinesPerPage; i++ {
+			plain, t, err := c.Load(now, mem.LineAddr(src, i))
+			if err != nil {
+				return t, err
+			}
+			da := mem.LineAddr(dst, i)
+			var wt uint64
+			if nonTemporal {
+				wt, err = c.StoreNT(t, da, &plain)
+			} else {
+				wt, err = c.Store(t, da, plain[:])
+			}
+			if err != nil {
+				return wt, err
+			}
+			if wt > done {
+				done = wt
+			}
+		}
+		return done, nil
+	}
 	for i := 0; i < mem.LinesPerPage; i++ {
 		plain, t, err := c.Load(done, mem.LineAddr(src, i))
 		if err != nil {
@@ -378,6 +405,26 @@ func (c *Controller) ZeroPageFull(now, dst uint64, nonTemporal bool) (uint64, er
 	var zero [mem.LineBytes]byte
 	done := now
 	var err error
+	if c.Engine.MLPEnabled() {
+		// MLP: independent zero-fills all issue at the window start and
+		// max-merge, like CopyPageFull above.
+		for i := 0; i < mem.LinesPerPage; i++ {
+			da := mem.LineAddr(dst, i)
+			var wt uint64
+			if nonTemporal {
+				wt, err = c.StoreNT(now, da, &zero)
+			} else {
+				wt, err = c.Store(now, da, zero[:])
+			}
+			if err != nil {
+				return wt, err
+			}
+			if wt > done {
+				done = wt
+			}
+		}
+		return done, nil
+	}
 	for i := 0; i < mem.LinesPerPage; i++ {
 		da := mem.LineAddr(dst, i)
 		if nonTemporal {

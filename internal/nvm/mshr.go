@@ -1,0 +1,75 @@
+package nvm
+
+// DefaultMSHRs is the miss-status-holding-register count used when the MLP
+// model is enabled without an explicit size. Eight matches the small
+// controller-side register files of the secure-NVM literature: enough to
+// cover a page engine's issue window without modelling an unbounded queue.
+const DefaultMSHRs = 8
+
+// MSHRFile models a small file of miss-status holding registers: each
+// overlapped request leg (a data read racing its counter-block fetch, one
+// line of a bank-parallel page-engine group) occupies a register from issue
+// to completion. When every register is busy the next leg stalls until the
+// earliest one retires — that stall is the controller-side limit on
+// memory-level parallelism, distinct from the per-bank busy times the
+// Device models.
+//
+// Determinism: Issue always picks the earliest-free register, breaking ties
+// on the lowest index, and is only ever called from the single-threaded
+// timing code of an engine, so identical request sequences produce
+// identical stalls regardless of host parallelism.
+type MSHRFile struct {
+	free []uint64 // completion time of each register's current leg
+
+	// Issues counts legs issued through the file; Stalls counts legs that
+	// found every register busy, StallNs their total issue delay.
+	Issues  uint64
+	Stalls  uint64
+	StallNs uint64
+}
+
+// NewMSHRFile creates a file of n registers (n <= 0 selects DefaultMSHRs).
+func NewMSHRFile(n int) *MSHRFile {
+	if n <= 0 {
+		n = DefaultMSHRs
+	}
+	return &MSHRFile{free: make([]uint64, n)}
+}
+
+// Size returns the register count.
+func (m *MSHRFile) Size() int { return len(m.free) }
+
+// Busy returns the number of registers still occupied at time now — the
+// occupancy the probe plane's MSHR distribution samples at each issue.
+func (m *MSHRFile) Busy(now uint64) int {
+	busy := 0
+	for _, f := range m.free {
+		if f > now {
+			busy++
+		}
+	}
+	return busy
+}
+
+// Issue reserves the earliest-free register at or after now, runs the leg
+// from that start time, and records the leg's completion in the register.
+// The leg callback receives the (possibly stalled) start time and returns
+// the completion time of the underlying device access.
+func (m *MSHRFile) Issue(now uint64, leg func(start uint64) uint64) uint64 {
+	m.Issues++
+	reg := 0
+	for i := 1; i < len(m.free); i++ {
+		if m.free[i] < m.free[reg] {
+			reg = i
+		}
+	}
+	start := now
+	if m.free[reg] > start {
+		start = m.free[reg]
+		m.Stalls++
+		m.StallNs += start - now
+	}
+	done := leg(start)
+	m.free[reg] = done
+	return done
+}

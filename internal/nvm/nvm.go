@@ -49,6 +49,14 @@ type Device struct {
 	RowMisses  uint64
 
 	wear map[uint64]uint32 // line number -> write count
+
+	// onQueue, when set, is called at each access issue with the bank and
+	// the number of accesses still pending on that bank (the probe plane's
+	// bank-queue occupancy distribution). bankPend tracks the completion
+	// times of in-flight accesses per bank and is only maintained while the
+	// callback is installed, so the plain timing path pays nothing for it.
+	onQueue  func(bank, depth int)
+	bankPend [][]uint64
 }
 
 // New creates a device from the configuration.
@@ -75,6 +83,39 @@ func New(cfg Config) *Device {
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
 
+// Banks returns the total bank count (ranks × banks per rank).
+func (d *Device) Banks() int { return d.banks }
+
+// BankOf returns the bank a byte address maps to — rows are interleaved
+// round-robin over the banks, exactly as access charges them.
+func (d *Device) BankOf(addr uint64) int {
+	return int(addr/d.cfg.RowBytes) % d.banks
+}
+
+// SetQueueProbe installs (or, with nil, removes) the per-access bank-queue
+// depth callback. Depth is the number of earlier accesses still pending on
+// the same bank at the new access's issue time.
+func (d *Device) SetQueueProbe(fn func(bank, depth int)) {
+	d.onQueue = fn
+	if fn != nil && d.bankPend == nil {
+		d.bankPend = make([][]uint64, d.banks)
+	}
+}
+
+// noteQueue records the issue of an access completing at done on a bank:
+// retired entries (completion <= now) are pruned, the observed depth is the
+// surviving backlog, and the new access joins it.
+func (d *Device) noteQueue(bank int, now, done uint64) {
+	pend := d.bankPend[bank][:0]
+	for _, c := range d.bankPend[bank] {
+		if c > now {
+			pend = append(pend, c)
+		}
+	}
+	d.onQueue(bank, len(pend))
+	d.bankPend[bank] = append(pend, done)
+}
+
 func (d *Device) access(now, addr uint64, base uint64) uint64 {
 	row := addr / d.cfg.RowBytes
 	bank := int(row) % d.banks
@@ -92,6 +133,9 @@ func (d *Device) access(now, addr uint64, base uint64) uint64 {
 	}
 	done := start + lat
 	d.bankFree[bank] = done
+	if d.onQueue != nil {
+		d.noteQueue(bank, now, done)
+	}
 	return done
 }
 

@@ -73,7 +73,12 @@ type RunSummary struct {
 	Events     []EventClassSummary `json:"events"`
 	ChainDepth HistSummary         `json:"chainDepth"`
 	QueueOcc   HistSummary         `json:"queueOcc"`
-	Samples    []Sample            `json:"samples,omitempty"`
+	// MSHROcc and BankQueue are populated only when the MLP path observed at
+	// least one value; pointers + omitempty keep MLP-off exports
+	// byte-identical to pre-MLP ones.
+	MSHROcc   *HistSummary `json:"mshrOcc,omitempty"`
+	BankQueue *HistSummary `json:"bankQueue,omitempty"`
+	Samples   []Sample     `json:"samples,omitempty"`
 }
 
 // Summary aggregates the plane into its deterministic exported form. Event
@@ -100,6 +105,14 @@ func (p *Plane) Summary() RunSummary {
 	}
 	s.ChainDepth = p.chain.summary()
 	s.QueueOcc = p.occ.summary()
+	if p.mshr.Count > 0 {
+		h := p.mshr.summary()
+		s.MSHROcc = &h
+	}
+	if p.bankQ.Count > 0 {
+		h := p.bankQ.summary()
+		s.BankQueue = &h
+	}
 	s.Samples = p.samples
 	return s
 }
@@ -140,6 +153,12 @@ func (s RunSummary) String() string {
 	}
 	writeDist("chain depth", s.ChainDepth)
 	writeDist("queue occupancy", s.QueueOcc)
+	if s.MSHROcc != nil {
+		writeDist("mshr occupancy", *s.MSHROcc)
+	}
+	if s.BankQueue != nil {
+		writeDist("bank queue depth", *s.BankQueue)
+	}
 	if len(s.Samples) > 0 {
 		fmt.Fprintf(&b, "time series: %d samples, first %d ns, last %d ns\n",
 			len(s.Samples), s.Samples[0].NowNs, s.Samples[len(s.Samples)-1].NowNs)

@@ -202,6 +202,8 @@ type Plane struct {
 	lat   [NumKinds]LogHist
 	chain LinHist // redirect-chain hops per ReadLine
 	occ   LinHist // write-queue occupancy observed at each WriteLine
+	mshr  LinHist // MSHR registers busy at each overlapped-leg issue (MLP)
+	bankQ LinHist // device bank-queue depth at each access issue (MLP)
 
 	lastNs uint64 // high-water simulated time across recorded events
 
@@ -382,4 +384,40 @@ func (p *Plane) QueueOccupancy() LinHist {
 		return LinHist{}
 	}
 	return p.occ
+}
+
+// ObserveMSHROcc records how many MSHR registers were busy at the instant
+// an overlapped leg was issued. Only the MLP path emits these; the
+// distribution is omitted from exports when no value was ever observed, so
+// MLP-off summaries stay byte-identical to pre-MLP ones.
+func (p *Plane) ObserveMSHROcc(busy int) {
+	if p == nil {
+		return
+	}
+	p.mshr.Observe(uint64(busy))
+}
+
+// MSHROccupancy returns the MSHR-busy distribution (MLP runs only).
+func (p *Plane) MSHROccupancy() LinHist {
+	if p == nil {
+		return LinHist{}
+	}
+	return p.mshr
+}
+
+// ObserveBankQueue records the depth of one device bank's pending queue at
+// an access issue (installed on the device only for MLP runs).
+func (p *Plane) ObserveBankQueue(depth int) {
+	if p == nil {
+		return
+	}
+	p.bankQ.Observe(uint64(depth))
+}
+
+// BankQueueDepth returns the bank-queue depth distribution (MLP runs only).
+func (p *Plane) BankQueueDepth() LinHist {
+	if p == nil {
+		return LinHist{}
+	}
+	return p.bankQ
 }

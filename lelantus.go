@@ -68,6 +68,17 @@ const (
 // ParseFidelity maps "full" or "timing" to its Fidelity value.
 func ParseFidelity(name string) (Fidelity, error) { return core.ParseFidelity(name) }
 
+// MLPConfig models memory-level parallelism: an MSHR file that lets a line
+// access's counter fetch, BMT verify and data read overlap across device
+// banks, and an issue window that batches the page engines' per-line work
+// over a deterministic goroutine pool. The zero value is disabled — every
+// report byte then matches the serial engine. Set it via
+// Config.Mem.Core.MLP.
+type MLPConfig = core.MLPConfig
+
+// ParseMLP maps an -mlp flag value ("on", "off") to an enable bit.
+func ParseMLP(name string) (bool, error) { return core.ParseMLP(name) }
+
 // Schemes lists every scheme in comparison order.
 func Schemes() []Scheme { return core.Schemes() }
 
