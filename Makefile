@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-json-timing bench-json-mlp nopanic crash-sweep probe-smoke persist-matrix mlp-smoke verify
+.PHONY: all build vet test race bench bench-json bench-json-timing bench-json-mlp bench-json-prefetch nopanic crash-sweep probe-smoke persist-matrix mlp-smoke prefetch-smoke verify
 
 all: verify
 
@@ -109,7 +109,35 @@ bench-json-mlp:
 	      -bench '^(BenchmarkReadLine|BenchmarkWriteLine)$$' \
 	      -benchmem -benchtime 0.2s . ; \
 	  LELANTUS_MLP=on LELANTUS_FIDELITY=timing $(GO) test -run '^$$' \
-	      -bench '^(BenchmarkFig9|BenchmarkPagePhyc|BenchmarkOverflowSweep|BenchmarkRecoveryScrub)$$' -benchtime 2x . ; } \
+	      -bench '^(BenchmarkFig9|BenchmarkPagePhyc|BenchmarkOverflowSweep|BenchmarkRecoveryScrub|BenchmarkChainHeavy)$$' -benchtime 2x . ; } \
 	  | $(GO) run ./cmd/benchjson > BENCH_mlp.json
 
-verify: build vet nopanic test race crash-sweep persist-matrix probe-smoke mlp-smoke
+# bench-json-prefetch reruns the mlp benchmarks with the metadata prefetch
+# engine on (-prefetch=both) into BENCH_prefetch.json; the names match
+# bench-json-mlp's, so `go run ./cmd/benchjson -compare -metric sim-ns
+# -filter ChainHeavy BENCH_mlp.json BENCH_prefetch.json` quotes the
+# simulated-time delta on the redirect-chain-heavy cells (the quick Fig9
+# cells fit the counter cache whole, so prefetch is inert there and the
+# unfiltered table doubles as the within-1.02x no-regression check).
+bench-json-prefetch:
+	{ LELANTUS_PREFETCH=both LELANTUS_MLP=on LELANTUS_FIDELITY=timing $(GO) test -run '^$$' \
+	      -bench '^(BenchmarkReadLine|BenchmarkWriteLine)$$' \
+	      -benchmem -benchtime 0.2s . ; \
+	  LELANTUS_PREFETCH=both LELANTUS_MLP=on LELANTUS_FIDELITY=timing $(GO) test -run '^$$' \
+	      -bench '^(BenchmarkFig9|BenchmarkPagePhyc|BenchmarkOverflowSweep|BenchmarkRecoveryScrub|BenchmarkChainHeavy)$$' -benchtime 2x . ; } \
+	  | $(GO) run ./cmd/benchjson > BENCH_prefetch.json
+
+# Prefetch smoke: the -prefetch=off byte-identity and knob-inertness pins,
+# the per-mode fidelity-equivalence properties (prefetch moves time and
+# metadata traffic, never functional state), the delta-table/chain-walker
+# unit tests, the cache property tests for the prefetch-fill insert paths,
+# and a real CLI run with the walker on and the probe plane reporting
+# prefetch coverage.
+prefetch-smoke:
+	$(GO) test -count=1 ./internal/prefetch ./internal/ctrcache
+	$(GO) test -count=1 ./internal/sim -run 'TestPrefetch'
+	$(GO) run ./cmd/lelantus-sim -workload forkbench -fidelity timing -mlp=on -prefetch=both \
+	    -probe -probe-out /tmp/lelantus-prefetch-smoke.json
+	@rm -f /tmp/lelantus-prefetch-smoke.json
+
+verify: build vet nopanic test race crash-sweep persist-matrix probe-smoke mlp-smoke prefetch-smoke

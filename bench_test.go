@@ -37,12 +37,27 @@ func benchMLP() core.MLPConfig {
 	return core.MLPConfig{Enabled: os.Getenv("LELANTUS_MLP") == "on"}
 }
 
+// benchPrefetch selects the metadata-prefetch configuration for every
+// benchmark from the LELANTUS_PREFETCH environment variable (a -prefetch
+// mode name: off, delta, chain, both; empty is off). `make
+// bench-json-prefetch` sets it so BENCH_prefetch.json carries the same
+// benchmark names as BENCH_mlp.json and `benchjson -compare -metric sim-ns`
+// lines up the prefetch delta per cell.
+func benchPrefetch() core.PrefetchConfig {
+	m, err := core.ParsePrefetchMode(os.Getenv("LELANTUS_PREFETCH"))
+	if err != nil {
+		panic(err)
+	}
+	return core.PrefetchConfig{Mode: m}
+}
+
 func quickOpts() experiments.Options {
 	o := experiments.DefaultOptions()
 	o.Quick = true
 	o.MemBytes = 256 << 20
 	o.Fidelity = benchFidelity()
 	o.MLP = benchMLP()
+	o.Prefetch = benchPrefetch()
 	return o
 }
 
@@ -88,6 +103,7 @@ func BenchmarkFig9(b *testing.B) {
 						cfg.Mem.MemBytes = o.MemBytes
 						cfg.Mem.Core.Fidelity = o.Fidelity
 						cfg.Mem.Core.MLP = o.MLP
+						cfg.Mem.Core.Prefetch = o.Prefetch
 						res, err := sim.RunWith(cfg, script)
 						if err != nil {
 							b.Fatal(err)
@@ -146,6 +162,7 @@ func BenchmarkGridRun(b *testing.B) {
 			cfg.Mem.MemBytes = o.MemBytes
 			cfg.Mem.Core.Fidelity = o.Fidelity
 			cfg.Mem.Core.MLP = o.MLP
+			cfg.Mem.Core.Prefetch = o.Prefetch
 			jobs = append(jobs, sim.GridJob{
 				Tag:    spec.Name + "/" + s.String(),
 				Config: cfg,
@@ -174,6 +191,7 @@ func benchEngine(b *testing.B, s core.Scheme) (*core.Engine, []uint64) {
 	cfg.Mem.MemBytes = 64 << 20
 	cfg.Mem.Core.Fidelity = benchFidelity()
 	cfg.Mem.Core.MLP = benchMLP()
+	cfg.Mem.Core.Prefetch = benchPrefetch()
 	m, err := sim.NewMachine(cfg)
 	if err != nil {
 		b.Fatal(err)
@@ -242,6 +260,7 @@ func BenchmarkPageCopyCommand(b *testing.B) {
 		cfg.Mem.MemBytes = 64 << 20
 		cfg.Mem.Core.Fidelity = benchFidelity()
 		cfg.Mem.Core.MLP = benchMLP()
+		cfg.Mem.Core.Prefetch = benchPrefetch()
 		m, err := sim.NewMachine(cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -262,6 +281,7 @@ func BenchmarkPageCopyCommand(b *testing.B) {
 		cfg.Mem.MemBytes = 64 << 20
 		cfg.Mem.Core.Fidelity = benchFidelity()
 		cfg.Mem.Core.MLP = benchMLP()
+		cfg.Mem.Core.Prefetch = benchPrefetch()
 		m, err := sim.NewMachine(cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -291,6 +311,7 @@ func BenchmarkPagePhyc(b *testing.B) {
 			cfg.Mem.MemBytes = 64 << 20
 			cfg.Mem.Core.Fidelity = benchFidelity()
 			cfg.Mem.Core.MLP = benchMLP()
+			cfg.Mem.Core.Prefetch = benchPrefetch()
 			m, err := sim.NewMachine(cfg)
 			if err != nil {
 				b.Fatal(err)
@@ -318,6 +339,49 @@ func BenchmarkPagePhyc(b *testing.B) {
 			}
 			b.ReportMetric(float64(simNs)/float64(b.N), "sim-ns")
 		})
+	}
+}
+
+// BenchmarkChainHeavy measures the redirect-chain-heavy cells the metadata
+// prefetch engine targets, at a working-set scale where it can matter: the
+// quick Fig9 cells fit the counter cache whole, so any prefetcher is inert
+// there by construction. A full-size forkbench and a shell with a 32 MB
+// image both exceed the cache and take capacity misses on every pass over
+// their redirected pages; the simulated time lands in sim-ns so `benchjson
+// -compare -metric sim-ns` against BENCH_mlp.json shows the prefetch delta.
+func BenchmarkChainHeavy(b *testing.B) {
+	sp := workload.DefaultShell(false)
+	sp.Seed = 1
+	sp.ImageBytes = 32 << 20
+	sp.Spawns = 4
+	sp.Scan = true // the find pass: reads that resolve the fresh redirects
+	cells := []struct {
+		name   string
+		script workload.Script
+	}{
+		{"forkbench", workload.Forkbench(workload.DefaultForkbench(false))},
+		{"shell-32MB", workload.ShellWith(sp)},
+	}
+	for _, c := range cells {
+		for _, s := range []core.Scheme{core.Lelantus, core.LelantusCoW} {
+			b.Run(c.name+"/"+s.String(), func(b *testing.B) {
+				var last sim.Result
+				for i := 0; i < b.N; i++ {
+					cfg := sim.DefaultConfig(s)
+					cfg.Mem.MemBytes = 256 << 20
+					cfg.Mem.Core.Fidelity = benchFidelity()
+					cfg.Mem.Core.MLP = benchMLP()
+					cfg.Mem.Core.Prefetch = benchPrefetch()
+					res, err := sim.RunWith(cfg, c.script)
+					if err != nil {
+						b.Fatal(err)
+					}
+					last = res
+				}
+				b.ReportMetric(float64(last.ExecNs), "sim-ns")
+				b.ReportMetric(float64(last.Engine.PrefetchUseful), "pf-useful")
+			})
+		}
 	}
 }
 
@@ -357,6 +421,7 @@ func BenchmarkRecoveryScrub(b *testing.B) {
 			cfg.Mem.MemBytes = 64 << 20
 			cfg.Mem.Core.Fidelity = benchFidelity()
 			cfg.Mem.Core.MLP = benchMLP()
+			cfg.Mem.Core.Prefetch = benchPrefetch()
 			m, err := sim.NewMachine(cfg)
 			if err != nil {
 				b.Fatal(err)

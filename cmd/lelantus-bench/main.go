@@ -46,6 +46,8 @@ func run() int {
 	mlpName := flag.String("mlp", "off", "memory-level parallelism: off (serial engine) | on (MSHR-overlapped metadata path; mlp-matrix overrides per cell)")
 	mshrs := flag.Int("mshrs", 0, "MSHR registers for -mlp=on (0 = default 8)")
 	mlpWorkers := flag.Int("mlp-workers", 0, "goroutine pool for the batched page engines under -mlp=on (0 = all CPUs); reports are identical at any setting")
+	prefetchName := flag.String("prefetch", "off", "metadata prefetch: off | delta | chain | both (prefetch-matrix overrides per cell)")
+	prefetchDepth := flag.Int("prefetch-depth", 0, "pages per confirmed delta prediction for -prefetch=delta/both (0 = default 4)")
 	ranks := flag.Int("ranks", 0, "NVM ranks (0 = default 2)")
 	banks := flag.Int("banks", 0, "NVM banks per rank (0 = default 8)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -93,6 +95,12 @@ func run() int {
 		return 2
 	}
 	o.MLP = lelantus.MLPConfig{Enabled: mlpOn, MSHRs: *mshrs, Workers: *mlpWorkers}
+	prefetchMode, err := lelantus.ParsePrefetchMode(*prefetchName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lelantus-bench: %v\n", err)
+		return 2
+	}
+	o.Prefetch = lelantus.PrefetchConfig{Mode: prefetchMode, Depth: *prefetchDepth}
 	o.Ranks = *ranks
 	o.BanksPerRank = *banks
 

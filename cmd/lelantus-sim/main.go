@@ -10,6 +10,7 @@
 //	lelantus-sim -workload forkbench -faultseed 7 -crashpoint 120
 //	lelantus-sim -workload forkbench -scheme lelantus-cow -persist phoenix
 //	lelantus-sim -workload forkbench -scheme lelantus -mlp=on -mshrs 16 -banks 16
+//	lelantus-sim -workload forkbench -scheme lelantus-cow -prefetch=both -prefetch-depth 8
 //	lelantus-sim -workload forkbench -probe -probe-format=perfetto -probe-out trace.json
 //	lelantus-sim -probe-check trace.json
 //	lelantus-sim -list
@@ -51,6 +52,8 @@ func run() int {
 	mlpName := flag.String("mlp", "off", "memory-level parallelism: off (serial engine) | on (MSHR-overlapped metadata path); measurements change, traffic does not")
 	mshrs := flag.Int("mshrs", 0, "MSHR registers for -mlp=on (0 = default 8)")
 	mlpWorkers := flag.Int("mlp-workers", 0, "goroutine pool for the batched page engines under -mlp=on (0 = all CPUs); output is identical at any setting")
+	prefetchName := flag.String("prefetch", "off", "metadata prefetch: off | delta (counter-stride) | chain (redirect-chain walker) | both; timing and metadata traffic change, functional state does not")
+	prefetchDepth := flag.Int("prefetch-depth", 0, "pages per confirmed delta prediction for -prefetch=delta/both (0 = default 4)")
 	ranks := flag.Int("ranks", 0, "NVM ranks (0 = default 2)")
 	banks := flag.Int("banks", 0, "NVM banks per rank (0 = default 8)")
 	compare := flag.Bool("compare", false, "also run the baseline and report speedup")
@@ -133,6 +136,11 @@ func run() int {
 		return fail(err)
 	}
 	mlp := lelantus.MLPConfig{Enabled: mlpOn, MSHRs: *mshrs, Workers: *mlpWorkers}
+	prefetchMode, err := lelantus.ParsePrefetchMode(*prefetchName)
+	if err != nil {
+		return fail(err)
+	}
+	prefetch := lelantus.PrefetchConfig{Mode: prefetchMode, Depth: *prefetchDepth}
 	var script workload.Script
 	if *replay != "" {
 		f, err := os.Open(*replay)
@@ -177,6 +185,7 @@ func run() int {
 		c.Mem.Core.Fidelity = fidelity
 		c.Mem.Core.Persist = persist
 		c.Mem.Core.MLP = mlp
+		c.Mem.Core.Prefetch = prefetch
 		if *ranks > 0 {
 			c.Mem.NVM.Ranks = *ranks
 		}
@@ -272,6 +281,11 @@ func run() int {
 	fmt.Printf("counters   %d overflows, ctr-cache miss %.2f%%, cow-cache miss %.2f%%\n",
 		res.CtrOverflows, 100*res.CtrMissRate, 100*res.CoWMissRate)
 	fmt.Printf("traffic    %.2f%% copy/init share\n", 100*res.CopyInitShare)
+	if prefetchMode != lelantus.PrefetchOff {
+		fmt.Printf("prefetch   %d issued, %d useful, %d late, %d unused, %d dropped\n",
+			res.Engine.PrefetchIssued, res.Engine.PrefetchUseful,
+			res.Engine.PrefetchLate, res.Engine.PrefetchUnused, res.Engine.PrefetchDropped)
+	}
 	if pl != nil {
 		fmt.Print(pl.Summary().String())
 	}

@@ -54,6 +54,10 @@ type Options struct {
 	// under (zero value = the serial engine, byte-identical reports). The
 	// mlp-matrix experiment overrides it per cell.
 	MLP core.MLPConfig
+	// Prefetch selects the metadata-prefetch configuration every machine
+	// runs under (zero value = off, byte-identical reports). The
+	// prefetch-matrix experiment overrides it per cell.
+	Prefetch core.PrefetchConfig
 	// Ranks and BanksPerRank override the device geometry when positive
 	// (zero keeps nvm.DefaultConfig's 2 × 8).
 	Ranks        int
@@ -111,6 +115,7 @@ func (o Options) machineConfig(scheme core.Scheme, mutate func(*sim.Config)) sim
 	cfg.Mem.Core.Fidelity = o.Fidelity
 	cfg.Mem.Core.Persist = o.Persist
 	cfg.Mem.Core.MLP = o.MLP
+	cfg.Mem.Core.Prefetch = o.Prefetch
 	if o.Ranks > 0 {
 		cfg.Mem.NVM.Ranks = o.Ranks
 	}
@@ -200,6 +205,7 @@ func All(o Options) ([]*Report, error) {
 		{"ablation-writequeue", AblationWriteQueue},
 		{"persist-matrix", PersistMatrix},
 		{"mlp-matrix", MLPMatrix},
+		{"prefetch-matrix", PrefetchMatrix},
 	}
 	for _, g := range gens {
 		r, err := g.f(o)
@@ -254,6 +260,8 @@ func ByID(o Options, id string) (*Report, error) {
 		return PersistMatrix(o)
 	case "mlp-matrix":
 		return MLPMatrix(o)
+	case "prefetch-matrix":
+		return PrefetchMatrix(o)
 	}
 	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
 }
@@ -264,7 +272,7 @@ func IDs() []string {
 		"fig9-2MB", "fig10", "tableV", "fig11-4KB", "fig11-2MB", "fig12",
 		"ablation-nonsecure", "ablation-cowcache", "ablation-ctrcache",
 		"ablation-wear", "ablation-tlb", "usecases", "ablation-writequeue",
-		"persist-matrix", "mlp-matrix"}
+		"persist-matrix", "mlp-matrix", "prefetch-matrix"}
 }
 
 var _ = ctrcache.WriteBack // referenced by fig12.go

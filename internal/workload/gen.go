@@ -348,21 +348,54 @@ func MariaDB(huge bool, seed int64) Script {
 	return b.Script()
 }
 
+// ShellParams sizes the shell workload (see Shell for the access pattern).
+type ShellParams struct {
+	Huge bool
+	Seed int64
+	// ImageBytes is the forked shell+libc image every child dirties.
+	ImageBytes uint64
+	// Spawns is the number of short-lived children.
+	Spawns int
+	// Scan, when true, has each child read back one line of every page it
+	// dirtied — the `find` pass over the tree. The setup writes materialise
+	// only a few random lines per page, so almost every scan load resolves
+	// the page's fresh redirect chain: the access pattern the metadata
+	// chain walker targets. False (the zero value) keeps the catalogue
+	// access pattern byte for byte.
+	Scan bool
+}
+
+// DefaultShell returns the catalogue-sized shell parameters.
+func DefaultShell(huge bool) ShellParams {
+	return ShellParams{Huge: huge, ImageBytes: 6 << 20, Spawns: 12}
+}
+
 // Shell models `find | ls` over a directory tree: a long chain of
 // short-lived forked children, each dirtying a few lines of the shell
 // image, reading directory data via DMA into a small scratch mapping, and
 // exiting immediately.
 func Shell(huge bool, seed int64) Script {
-	rng := rand.New(rand.NewSource(seed))
+	p := DefaultShell(huge)
+	p.Seed = seed
+	return ShellWith(p)
+}
+
+// ShellWith is Shell at explicit scale: a larger-than-default image turns
+// each child's pass over the shared pages into counter-cache capacity
+// misses (the metadata-prefetch benchmark cell), while the default
+// parameters reproduce the catalogue workload byte for byte.
+func ShellWith(p ShellParams) Script {
+	huge := p.Huge
+	rng := rand.New(rand.NewSource(p.Seed))
 	b := NewBuilder("shell[" + pageMode(huge) + "]")
 	const shell = 0
-	imageBytes := uint64(6 << 20) // shell + libc image: larger than LLC
+	imageBytes := p.ImageBytes // shell + libc image: larger than LLC
 	b.Spawn(shell)
 	b.Mmap(shell, 0, imageBytes, huge)
 	writeAllLines(b, shell, 0, imageBytes, 0x5E)
 	b.BeginMeasure()
 
-	const spawns = 12
+	spawns := p.Spawns
 	unit := unitBytes(huge)
 	for s := 0; s < spawns; s++ {
 		child := 1 + s
@@ -374,6 +407,14 @@ func Shell(huge bool, seed int64) Script {
 			for l := 0; l < 3; l++ {
 				off := base + (rng.Uint64()%(unit/mem.LineBytes))*mem.LineBytes
 				b.Store(child, 0, off, 8, byte(s))
+			}
+		}
+		if p.Scan {
+			// The find pass: one load per dirtied page at a fixed line the
+			// random setup writes rarely hit, so each read traverses the
+			// redirect planted above with the hop metadata likely cold.
+			for base := uint64(0); base < imageBytes; base += 2 * unit {
+				b.Load(child, 0, base+unit/2, 8)
 			}
 		}
 		scratch := uint64(32 << 10)
