@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-json-timing bench-json-mlp bench-json-prefetch nopanic crash-sweep probe-smoke persist-matrix mlp-smoke prefetch-smoke verify
+.PHONY: all build vet test race bench bench-json bench-json-timing bench-json-mlp bench-json-prefetch nopanic crash-sweep probe-smoke persist-matrix mlp-smoke prefetch-smoke grid-smoke verify
 
 all: verify
 
@@ -23,7 +23,7 @@ test:
 # pool; the sim MLP determinism tests drive the pooled page engines and
 # recovery passes multi-worker under the detector.
 race:
-	$(GO) test -race -short ./internal/sim/... ./internal/experiments/... ./internal/faultinject/... ./internal/probe/... ./internal/nvm/... ./internal/issuewin/...
+	$(GO) test -race -short ./internal/sim/... ./internal/experiments/... ./internal/faultinject/... ./internal/probe/... ./internal/nvm/... ./internal/issuewin/... ./internal/grid/... ./internal/steal/...
 
 # No panic() may be reachable from the public Machine/Controller API:
 # internal-invariant failures surface as typed errors through Run.
@@ -140,4 +140,17 @@ prefetch-smoke:
 	    -probe -probe-out /tmp/lelantus-prefetch-smoke.json
 	@rm -f /tmp/lelantus-prefetch-smoke.json
 
-verify: build vet nopanic test race crash-sweep persist-matrix probe-smoke mlp-smoke prefetch-smoke
+# Grid smoke: the work-stealing substrate and coordinator unit tests, the
+# results-log decoder pins, the subprocess kill/resume harness (SIGKILL at
+# a seeded checkpoint boundary, resume, byte-compare the merged report),
+# and a real CLI run/status/resume cycle on a sub-second grid.
+grid-smoke:
+	$(GO) test -count=1 ./internal/steal ./internal/grid
+	@rm -rf /tmp/lelantus-grid-smoke
+	$(GO) run ./cmd/lelantus-grid run -dir /tmp/lelantus-grid-smoke \
+	    -workloads forkbench -schemes lelantus,baseline -region-kb 256 -strict -quiet
+	$(GO) run ./cmd/lelantus-grid status -dir /tmp/lelantus-grid-smoke
+	$(GO) run ./cmd/lelantus-grid resume -dir /tmp/lelantus-grid-smoke -strict -quiet
+	@rm -rf /tmp/lelantus-grid-smoke
+
+verify: build vet nopanic test race crash-sweep persist-matrix probe-smoke mlp-smoke prefetch-smoke grid-smoke

@@ -13,12 +13,17 @@
 //
 // Reports are byte-identical at either fidelity; "-fidelity auto" (the
 // default) picks timing for the full "-exp all" grid and full otherwise.
+//
+// Exit codes: 0 success, 1 runtime failure, 2 flag/usage errors — an
+// invalid -fidelity/-persist/-mlp/-prefetch/-exp value is a one-line
+// diagnosis, not a partial run.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -30,36 +35,51 @@ import (
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run carries the whole program so the profile-flushing defers execute on
-// every exit path (os.Exit in main would skip them).
-func run() int {
-	exp := flag.String("exp", "all", "experiment id (see -list) or 'all'")
-	quick := flag.Bool("quick", false, "use reduced workload sizes")
-	seed := flag.Int64("seed", 1, "workload generator seed")
-	memMB := flag.Uint64("mem", 512, "simulated NVM capacity in MiB")
-	parallel := flag.Int("parallel", 0, "worker pool for independent simulation runs (0 = all CPUs); reports are byte-identical at any setting")
-	fidelity := flag.String("fidelity", "auto", "full | timing | auto (timing for '-exp all', full otherwise); reports are byte-identical either way")
-	persistName := flag.String("persist", "strict", "metadata persistence strategy: strict | phoenix | triad:N (persist-matrix overrides per cell)")
-	mlpName := flag.String("mlp", "off", "memory-level parallelism: off (serial engine) | on (MSHR-overlapped metadata path; mlp-matrix overrides per cell)")
-	mshrs := flag.Int("mshrs", 0, "MSHR registers for -mlp=on (0 = default 8)")
-	mlpWorkers := flag.Int("mlp-workers", 0, "goroutine pool for the batched page engines under -mlp=on (0 = all CPUs); reports are identical at any setting")
-	prefetchName := flag.String("prefetch", "off", "metadata prefetch: off | delta | chain | both (prefetch-matrix overrides per cell)")
-	prefetchDepth := flag.Int("prefetch-depth", 0, "pages per confirmed delta prediction for -prefetch=delta/both (0 = default 4)")
-	ranks := flag.Int("ranks", 0, "NVM ranks (0 = default 2)")
-	banks := flag.Int("banks", 0, "NVM banks per rank (0 = default 8)")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	list := flag.Bool("list", false, "list experiment identifiers and exit")
-	markdown := flag.Bool("markdown", false, "emit markdown tables (EXPERIMENTS.md form)")
-	asJSON := flag.Bool("json", false, "emit reports as a JSON array")
-	flag.Parse()
+// every exit path (os.Exit in main would skip them) and so the flag-
+// hardening tests can drive it in-process with their own streams.
+func run(args []string, stdout, stderr io.Writer) int {
+	badFlag := func(err error) int {
+		fmt.Fprintf(stderr, "lelantus-bench: %v\n", err)
+		return 2
+	}
+
+	fs := flag.NewFlagSet("lelantus-bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("exp", "all", "experiment id (see -list) or 'all'")
+	quick := fs.Bool("quick", false, "use reduced workload sizes")
+	seed := fs.Int64("seed", 1, "workload generator seed")
+	memMB := fs.Uint64("mem", 512, "simulated NVM capacity in MiB")
+	parallel := fs.Int("parallel", 0, "worker pool for independent simulation runs (0 = all CPUs); reports are byte-identical at any setting")
+	fidelity := fs.String("fidelity", "auto", "full | timing | auto (timing for '-exp all', full otherwise); reports are byte-identical either way")
+	persistName := fs.String("persist", "strict", "metadata persistence strategy: strict | phoenix | triad:N (persist-matrix overrides per cell)")
+	mlpName := fs.String("mlp", "off", "memory-level parallelism: off (serial engine) | on (MSHR-overlapped metadata path; mlp-matrix overrides per cell)")
+	mshrs := fs.Int("mshrs", 0, "MSHR registers for -mlp=on (0 = default 8)")
+	mlpWorkers := fs.Int("mlp-workers", 0, "goroutine pool for the batched page engines under -mlp=on (0 = all CPUs); reports are identical at any setting")
+	prefetchName := fs.String("prefetch", "off", "metadata prefetch: off | delta | chain | both (prefetch-matrix overrides per cell)")
+	prefetchDepth := fs.Int("prefetch-depth", 0, "pages per confirmed delta prediction for -prefetch=delta/both (0 = default 4)")
+	ranks := fs.Int("ranks", 0, "NVM ranks (0 = default 2)")
+	banks := fs.Int("banks", 0, "NVM banks per rank (0 = default 8)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	list := fs.Bool("list", false, "list experiment identifiers and exit")
+	markdown := fs.Bool("markdown", false, "emit markdown tables (EXPERIMENTS.md form)")
+	asJSON := fs.Bool("json", false, "emit reports as a JSON array")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
-		fmt.Println(strings.Join(experiments.IDs(), "\n"))
+		fmt.Fprintln(stdout, strings.Join(experiments.IDs(), "\n"))
 		return 0
+	}
+	if *exp != "all" {
+		if _, err := experiments.Lookup(*exp); err != nil {
+			return badFlag(err)
+		}
 	}
 
 	o := experiments.DefaultOptions()
@@ -78,27 +98,23 @@ func run() int {
 	default:
 		f, err := lelantus.ParseFidelity(*fidelity)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "lelantus-bench: %v\n", err)
-			return 2
+			return badFlag(err)
 		}
 		o.Fidelity = f
 	}
 	persist, err := lelantus.ParsePersist(*persistName)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lelantus-bench: %v\n", err)
-		return 2
+		return badFlag(err)
 	}
 	o.Persist = persist
 	mlpOn, err := lelantus.ParseMLP(*mlpName)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lelantus-bench: %v\n", err)
-		return 2
+		return badFlag(err)
 	}
 	o.MLP = lelantus.MLPConfig{Enabled: mlpOn, MSHRs: *mshrs, Workers: *mlpWorkers}
 	prefetchMode, err := lelantus.ParsePrefetchMode(*prefetchName)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lelantus-bench: %v\n", err)
-		return 2
+		return badFlag(err)
 	}
 	o.Prefetch = lelantus.PrefetchConfig{Mode: prefetchMode, Depth: *prefetchDepth}
 	o.Ranks = *ranks
@@ -107,11 +123,11 @@ func run() int {
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "lelantus-bench: %v\n", err)
+			fmt.Fprintf(stderr, "lelantus-bench: %v\n", err)
 			return 1
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "lelantus-bench: %v\n", err)
+			fmt.Fprintf(stderr, "lelantus-bench: %v\n", err)
 			return 1
 		}
 		defer pprof.StopCPUProfile()
@@ -120,13 +136,13 @@ func run() int {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "lelantus-bench: %v\n", err)
+				fmt.Fprintf(stderr, "lelantus-bench: %v\n", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "lelantus-bench: %v\n", err)
+				fmt.Fprintf(stderr, "lelantus-bench: %v\n", err)
 			}
 		}()
 	}
@@ -147,7 +163,7 @@ func run() int {
 				ok = append(ok, r)
 			}
 		}
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", " ")
 		if jerr := enc.Encode(ok); jerr != nil && err == nil {
 			err = jerr
@@ -158,18 +174,18 @@ func run() int {
 				continue
 			}
 			if *markdown {
-				fmt.Println(r.Markdown())
+				fmt.Fprintln(stdout, r.Markdown())
 			} else {
-				fmt.Println(r)
+				fmt.Fprintln(stdout, r)
 			}
 		}
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "lelantus-bench: %v\n", err)
+		fmt.Fprintf(stderr, "lelantus-bench: %v\n", err)
 		return 1
 	}
 	if !*asJSON {
-		fmt.Printf("completed in %.1fs (host time)\n", time.Since(start).Seconds())
+		fmt.Fprintf(stdout, "completed in %.1fs (host time)\n", time.Since(start).Seconds())
 	}
 	return 0
 }

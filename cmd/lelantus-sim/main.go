@@ -14,12 +14,18 @@
 //	lelantus-sim -workload forkbench -probe -probe-format=perfetto -probe-out trace.json
 //	lelantus-sim -probe-check trace.json
 //	lelantus-sim -list
+//
+// Exit codes: 0 success, 1 runtime failure (or recovery violations under
+// -crashpoint), 2 flag/usage errors — an invalid -scheme/-fidelity/
+// -persist/-mlp/-prefetch/-probe-format value is a one-line diagnosis, not
+// a partial run.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -30,55 +36,96 @@ import (
 	"lelantus/internal/workload"
 )
 
-func fail(err error) int {
-	fmt.Fprintf(os.Stderr, "lelantus-sim: %v\n", err)
-	return 1
-}
-
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
 // run carries the whole program so the profile-flushing defers execute on
-// every exit path (os.Exit in main would skip them).
-func run() int {
-	wl := flag.String("workload", "forkbench", "workload name (see -list)")
-	schemeName := flag.String("scheme", "lelantus", "baseline | silent-shredder | lelantus | lelantus-cow")
-	huge := flag.Bool("huge", false, "use 2MB huge pages")
-	seed := flag.Int64("seed", 1, "workload generator seed")
-	memMB := flag.Uint64("mem", 512, "simulated NVM capacity in MiB")
-	fidelityName := flag.String("fidelity", "full", "full | timing (timing elides the crypto data plane; measurements are identical)")
-	persistName := flag.String("persist", "strict", "metadata persistence strategy: strict | phoenix | triad:N")
-	mlpName := flag.String("mlp", "off", "memory-level parallelism: off (serial engine) | on (MSHR-overlapped metadata path); measurements change, traffic does not")
-	mshrs := flag.Int("mshrs", 0, "MSHR registers for -mlp=on (0 = default 8)")
-	mlpWorkers := flag.Int("mlp-workers", 0, "goroutine pool for the batched page engines under -mlp=on (0 = all CPUs); output is identical at any setting")
-	prefetchName := flag.String("prefetch", "off", "metadata prefetch: off | delta (counter-stride) | chain (redirect-chain walker) | both; timing and metadata traffic change, functional state does not")
-	prefetchDepth := flag.Int("prefetch-depth", 0, "pages per confirmed delta prediction for -prefetch=delta/both (0 = default 4)")
-	ranks := flag.Int("ranks", 0, "NVM ranks (0 = default 2)")
-	banks := flag.Int("banks", 0, "NVM banks per rank (0 = default 8)")
-	compare := flag.Bool("compare", false, "also run the baseline and report speedup")
-	all := flag.Bool("all", false, "run the workload under every scheme and compare")
-	parallel := flag.Int("parallel", 0, "worker pool for -all (0 = all CPUs); output is identical at any setting")
-	list := flag.Bool("list", false, "list workloads and exit")
-	record := flag.String("record", "", "write the workload script to this file and exit")
-	replay := flag.String("replay", "", "run a script recorded with -record instead of -workload")
-	disasm := flag.Bool("disasm", false, "print the first 40 ops of the script before running")
-	asJSON := flag.Bool("json", false, "emit the result as JSON instead of text")
-	faultSeed := flag.Int64("faultseed", 1, "deterministic fault-injection seed (crash/tear decisions)")
-	crashPoint := flag.Uint64("crashpoint", 0, "crash at this persist point, power-cycle and print the recovery report (0 = off)")
-	faultPoints := flag.Bool("faultpoints", false, "count the script's persist points (the -crashpoint index space) and exit")
-	probeOn := flag.Bool("probe", false, "attach the observability plane and export it after the run")
-	probeOut := flag.String("probe-out", "probe.json", "file the probe export is written to")
-	probeFormat := flag.String("probe-format", "summary", "summary | perfetto (deterministic JSON summary, or a Chrome trace-event file for ui.perfetto.dev)")
-	probeSampleNs := flag.Uint64("probe-sample-ns", 1_000_000, "simulated-time interval between probe counter samples (0 = no time series)")
-	probeCheck := flag.String("probe-check", "", "validate a Perfetto trace file emitted with -probe-format=perfetto and exit")
-	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
-	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
-	flag.Parse()
+// every exit path (os.Exit in main would skip them) and so the flag-
+// hardening tests can drive it in-process with their own streams.
+func run(args []string, stdout, stderr io.Writer) int {
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "lelantus-sim: %v\n", err)
+		return 1
+	}
+	// badFlag is for values the flag package accepts syntactically but the
+	// simulator's parsers reject: usage errors, exit 2, one line.
+	badFlag := func(err error) int {
+		fmt.Fprintf(stderr, "lelantus-sim: %v\n", err)
+		return 2
+	}
+
+	fs := flag.NewFlagSet("lelantus-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	wl := fs.String("workload", "forkbench", "workload name (see -list)")
+	schemeName := fs.String("scheme", "lelantus", "baseline | silent-shredder | lelantus | lelantus-cow")
+	huge := fs.Bool("huge", false, "use 2MB huge pages")
+	seed := fs.Int64("seed", 1, "workload generator seed")
+	memMB := fs.Uint64("mem", 512, "simulated NVM capacity in MiB")
+	fidelityName := fs.String("fidelity", "full", "full | timing (timing elides the crypto data plane; measurements are identical)")
+	persistName := fs.String("persist", "strict", "metadata persistence strategy: strict | phoenix | triad:N")
+	mlpName := fs.String("mlp", "off", "memory-level parallelism: off (serial engine) | on (MSHR-overlapped metadata path); measurements change, traffic does not")
+	mshrs := fs.Int("mshrs", 0, "MSHR registers for -mlp=on (0 = default 8)")
+	mlpWorkers := fs.Int("mlp-workers", 0, "goroutine pool for the batched page engines under -mlp=on (0 = all CPUs); output is identical at any setting")
+	prefetchName := fs.String("prefetch", "off", "metadata prefetch: off | delta (counter-stride) | chain (redirect-chain walker) | both; timing and metadata traffic change, functional state does not")
+	prefetchDepth := fs.Int("prefetch-depth", 0, "pages per confirmed delta prediction for -prefetch=delta/both (0 = default 4)")
+	ranks := fs.Int("ranks", 0, "NVM ranks (0 = default 2)")
+	banks := fs.Int("banks", 0, "NVM banks per rank (0 = default 8)")
+	compare := fs.Bool("compare", false, "also run the baseline and report speedup")
+	all := fs.Bool("all", false, "run the workload under every scheme and compare")
+	parallel := fs.Int("parallel", 0, "worker pool for -all (0 = all CPUs); output is identical at any setting")
+	list := fs.Bool("list", false, "list workloads and exit")
+	record := fs.String("record", "", "write the workload script to this file and exit")
+	replay := fs.String("replay", "", "run a script recorded with -record instead of -workload")
+	disasm := fs.Bool("disasm", false, "print the first 40 ops of the script before running")
+	asJSON := fs.Bool("json", false, "emit the result as JSON instead of text")
+	faultSeed := fs.Int64("faultseed", 1, "deterministic fault-injection seed (crash/tear decisions)")
+	crashPoint := fs.Uint64("crashpoint", 0, "crash at this persist point, power-cycle and print the recovery report (0 = off)")
+	faultPoints := fs.Bool("faultpoints", false, "count the script's persist points (the -crashpoint index space) and exit")
+	probeOn := fs.Bool("probe", false, "attach the observability plane and export it after the run")
+	probeOut := fs.String("probe-out", "probe.json", "file the probe export is written to")
+	probeFormat := fs.String("probe-format", "summary", "summary | perfetto (deterministic JSON summary, or a Chrome trace-event file for ui.perfetto.dev)")
+	probeSampleNs := fs.Uint64("probe-sample-ns", 1_000_000, "simulated-time interval between probe counter samples (0 = no time series)")
+	probeCheck := fs.String("probe-check", "", "validate a Perfetto trace file emitted with -probe-format=perfetto and exit")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// Every enum flag is validated up front, before any run, file write or
+	// profile starts: a typo diagnoses in one line and touches nothing.
+	scheme, err := lelantus.ParseScheme(*schemeName)
+	if err != nil {
+		return badFlag(err)
+	}
+	fidelity, err := lelantus.ParseFidelity(*fidelityName)
+	if err != nil {
+		return badFlag(err)
+	}
+	persist, err := lelantus.ParsePersist(*persistName)
+	if err != nil {
+		return badFlag(err)
+	}
+	mlpOn, err := lelantus.ParseMLP(*mlpName)
+	if err != nil {
+		return badFlag(err)
+	}
+	mlp := lelantus.MLPConfig{Enabled: mlpOn, MSHRs: *mshrs, Workers: *mlpWorkers}
+	prefetchMode, err := lelantus.ParsePrefetchMode(*prefetchName)
+	if err != nil {
+		return badFlag(err)
+	}
+	prefetch := lelantus.PrefetchConfig{Mode: prefetchMode, Depth: *prefetchDepth}
+	switch *probeFormat {
+	case "summary", "perfetto":
+	default:
+		return badFlag(fmt.Errorf("unknown -probe-format %q (want summary or perfetto)", *probeFormat))
+	}
 
 	if *list {
 		for _, spec := range lelantus.Workloads() {
-			fmt.Printf("%-10s %s\n", spec.Name, spec.Description)
+			fmt.Fprintf(stdout, "%-10s %s\n", spec.Name, spec.Description)
 		}
 		return 0
 	}
@@ -90,7 +137,7 @@ func run() int {
 		if err := probe.ValidateTrace(data); err != nil {
 			return fail(err)
 		}
-		fmt.Printf("%s: valid Chrome trace-event JSON (%d bytes)\n", *probeCheck, len(data))
+		fmt.Fprintf(stdout, "%s: valid Chrome trace-event JSON (%d bytes)\n", *probeCheck, len(data))
 		return 0
 	}
 
@@ -108,39 +155,17 @@ func run() int {
 		defer func() {
 			f, err := os.Create(*memProfile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "lelantus-sim: %v\n", err)
+				fmt.Fprintf(stderr, "lelantus-sim: %v\n", err)
 				return
 			}
 			defer f.Close()
 			runtime.GC()
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "lelantus-sim: %v\n", err)
+				fmt.Fprintf(stderr, "lelantus-sim: %v\n", err)
 			}
 		}()
 	}
 
-	scheme, err := lelantus.ParseScheme(*schemeName)
-	if err != nil {
-		return fail(err)
-	}
-	fidelity, err := lelantus.ParseFidelity(*fidelityName)
-	if err != nil {
-		return fail(err)
-	}
-	persist, err := lelantus.ParsePersist(*persistName)
-	if err != nil {
-		return fail(err)
-	}
-	mlpOn, err := lelantus.ParseMLP(*mlpName)
-	if err != nil {
-		return fail(err)
-	}
-	mlp := lelantus.MLPConfig{Enabled: mlpOn, MSHRs: *mshrs, Workers: *mlpWorkers}
-	prefetchMode, err := lelantus.ParsePrefetchMode(*prefetchName)
-	if err != nil {
-		return fail(err)
-	}
-	prefetch := lelantus.PrefetchConfig{Mode: prefetchMode, Depth: *prefetchDepth}
 	var script workload.Script
 	if *replay != "" {
 		f, err := os.Open(*replay)
@@ -155,7 +180,7 @@ func run() int {
 	} else {
 		spec, err := lelantus.WorkloadByName(*wl)
 		if err != nil {
-			return fail(err)
+			return badFlag(err)
 		}
 		script = spec.Build(*huge, *seed)
 	}
@@ -170,11 +195,11 @@ func run() int {
 		if err := f.Close(); err != nil {
 			return fail(err)
 		}
-		fmt.Printf("recorded %d ops to %s\n", len(script.Ops), *record)
+		fmt.Fprintf(stdout, "recorded %d ops to %s\n", len(script.Ops), *record)
 		return 0
 	}
 	if *disasm {
-		trace.Disassemble(os.Stdout, script, 40)
+		trace.Disassemble(stdout, script, 40)
 	}
 	// machineCfg stamps every shared machine knob onto a scheme's default
 	// config; each run site (single, -compare baseline, -all grid) goes
@@ -197,18 +222,13 @@ func run() int {
 
 	if *all {
 		if *probeOn {
-			return fail(fmt.Errorf("-probe traces a single machine; it cannot be combined with -all"))
+			return badFlag(fmt.Errorf("-probe traces a single machine; it cannot be combined with -all"))
 		}
-		return runAll(script, machineCfg, *parallel, *asJSON)
+		return runAll(script, machineCfg, *parallel, *asJSON, stdout, stderr)
 	}
 
 	var pl *lelantus.Probe
 	if *probeOn {
-		switch *probeFormat {
-		case "summary", "perfetto":
-		default:
-			return fail(fmt.Errorf("unknown -probe-format %q (want summary or perfetto)", *probeFormat))
-		}
 		pl = lelantus.NewProbe(lelantus.ProbeConfig{SampleNs: *probeSampleNs})
 	}
 
@@ -220,7 +240,7 @@ func run() int {
 		if err != nil {
 			return fail(err)
 		}
-		fmt.Printf("%d persist points (crash index space 1..%d)\n", n, n)
+		fmt.Fprintf(stdout, "%d persist points (crash index space 1..%d)\n", n, n)
 		return 0
 	}
 	if *crashPoint > 0 {
@@ -229,19 +249,19 @@ func run() int {
 			return fail(err)
 		}
 		if *asJSON {
-			enc := json.NewEncoder(os.Stdout)
+			enc := json.NewEncoder(stdout)
 			enc.SetIndent("", " ")
 			if err := enc.Encode(cell); err != nil {
 				return fail(err)
 			}
 		} else {
-			fmt.Printf("crashed at persist point %d (%v)\n", cell.Point, cell.At)
-			fmt.Println(cell.Report)
+			fmt.Fprintf(stdout, "crashed at persist point %d (%v)\n", cell.Point, cell.At)
+			fmt.Fprintln(stdout, cell.Report)
 			for _, v := range cell.Violations {
-				fmt.Printf("VIOLATION: %s\n", v)
+				fmt.Fprintf(stdout, "VIOLATION: %s\n", v)
 			}
 		}
-		if rc := exportProbe(pl, *probeOut, *probeFormat); rc != 0 {
+		if rc := exportProbe(pl, *probeOut, *probeFormat, stderr); rc != 0 {
 			return rc
 		}
 		if len(cell.Violations) > 0 {
@@ -256,38 +276,38 @@ func run() int {
 	}
 
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", " ")
 		if err := enc.Encode(res); err != nil {
 			return fail(err)
 		}
-		return exportProbe(pl, *probeOut, *probeFormat)
+		return exportProbe(pl, *probeOut, *probeFormat, stderr)
 	}
 
-	fmt.Printf("workload   %s\n", script.Name)
-	fmt.Printf("scheme     %v\n", scheme)
-	fmt.Printf("exec       %.3f ms (simulated)\n", float64(res.ExecNs)/1e6)
-	fmt.Printf("nvm        %d reads, %d writes\n", res.NVMReads, res.NVMWrites)
-	fmt.Printf("  data     %d reads, %d writes\n", res.Engine.DataReads, res.Engine.DataWrites)
-	fmt.Printf("  counters %d reads, %d writes\n", res.Engine.CtrReads, res.Engine.CtrWrites)
-	fmt.Printf("  cow-meta %d reads, %d writes\n", res.Engine.CoWMetaReads, res.Engine.CoWMetaWrite)
-	fmt.Printf("cpu        %d loads, %d stores\n", res.CPUReads, res.CPUWrites)
-	fmt.Printf("kernel     %d forks, %d CoW faults, %d zero faults, %d reuse faults\n",
+	fmt.Fprintf(stdout, "workload   %s\n", script.Name)
+	fmt.Fprintf(stdout, "scheme     %v\n", scheme)
+	fmt.Fprintf(stdout, "exec       %.3f ms (simulated)\n", float64(res.ExecNs)/1e6)
+	fmt.Fprintf(stdout, "nvm        %d reads, %d writes\n", res.NVMReads, res.NVMWrites)
+	fmt.Fprintf(stdout, "  data     %d reads, %d writes\n", res.Engine.DataReads, res.Engine.DataWrites)
+	fmt.Fprintf(stdout, "  counters %d reads, %d writes\n", res.Engine.CtrReads, res.Engine.CtrWrites)
+	fmt.Fprintf(stdout, "  cow-meta %d reads, %d writes\n", res.Engine.CoWMetaReads, res.Engine.CoWMetaWrite)
+	fmt.Fprintf(stdout, "cpu        %d loads, %d stores\n", res.CPUReads, res.CPUWrites)
+	fmt.Fprintf(stdout, "kernel     %d forks, %d CoW faults, %d zero faults, %d reuse faults\n",
 		res.Kernel.Forks, res.Kernel.CoWFaults, res.Kernel.ZeroFaults, res.Kernel.ReuseFaults)
-	fmt.Printf("commands   %d page_copy, %d page_phyc, %d page_free, %d page_init\n",
+	fmt.Fprintf(stdout, "commands   %d page_copy, %d page_phyc, %d page_free, %d page_init\n",
 		res.Engine.PageCopies, res.Engine.PagePhycs, res.Engine.PageFrees, res.Engine.PageInits)
-	fmt.Printf("cow        %d redirected reads (max chain %d), %d on-demand line copies, %d lines never copied\n",
+	fmt.Fprintf(stdout, "cow        %d redirected reads (max chain %d), %d on-demand line copies, %d lines never copied\n",
 		res.Engine.Redirects, res.Engine.MaxChain, res.Engine.CopiedOnDemand, res.Engine.ElidedLines)
-	fmt.Printf("counters   %d overflows, ctr-cache miss %.2f%%, cow-cache miss %.2f%%\n",
+	fmt.Fprintf(stdout, "counters   %d overflows, ctr-cache miss %.2f%%, cow-cache miss %.2f%%\n",
 		res.CtrOverflows, 100*res.CtrMissRate, 100*res.CoWMissRate)
-	fmt.Printf("traffic    %.2f%% copy/init share\n", 100*res.CopyInitShare)
+	fmt.Fprintf(stdout, "traffic    %.2f%% copy/init share\n", 100*res.CopyInitShare)
 	if prefetchMode != lelantus.PrefetchOff {
-		fmt.Printf("prefetch   %d issued, %d useful, %d late, %d unused, %d dropped\n",
+		fmt.Fprintf(stdout, "prefetch   %d issued, %d useful, %d late, %d unused, %d dropped\n",
 			res.Engine.PrefetchIssued, res.Engine.PrefetchUseful,
 			res.Engine.PrefetchLate, res.Engine.PrefetchUnused, res.Engine.PrefetchDropped)
 	}
 	if pl != nil {
-		fmt.Print(pl.Summary().String())
+		fmt.Fprint(stdout, pl.Summary().String())
 	}
 
 	if *compare && scheme != lelantus.Baseline {
@@ -295,21 +315,22 @@ func run() int {
 		if err != nil {
 			return fail(err)
 		}
-		fmt.Printf("vs-baseline speedup %.2fx, writes cut to %.2f%%\n",
+		fmt.Fprintf(stdout, "vs-baseline speedup %.2fx, writes cut to %.2f%%\n",
 			res.SpeedupVs(base), 100*res.WriteReductionVs(base))
 	}
-	return exportProbe(pl, *probeOut, *probeFormat)
+	return exportProbe(pl, *probeOut, *probeFormat, stderr)
 }
 
 // exportProbe writes the plane to out in the selected format; a nil plane
 // is a no-op so every exit path can call it unconditionally.
-func exportProbe(pl *lelantus.Probe, out, format string) int {
+func exportProbe(pl *lelantus.Probe, out, format string, stderr io.Writer) int {
 	if pl == nil {
 		return 0
 	}
 	f, err := os.Create(out)
 	if err != nil {
-		return fail(err)
+		fmt.Fprintf(stderr, "lelantus-sim: %v\n", err)
+		return 1
 	}
 	defer f.Close()
 	switch format {
@@ -323,42 +344,60 @@ func exportProbe(pl *lelantus.Probe, out, format string) int {
 		}
 	}
 	if err != nil {
-		return fail(err)
+		fmt.Fprintf(stderr, "lelantus-sim: %v\n", err)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "probe: wrote %s (%s, %d events recorded, %d retained, %d samples)\n",
+	fmt.Fprintf(stderr, "probe: wrote %s (%s, %d events recorded, %d retained, %d samples)\n",
 		out, format, pl.Summary().Recorded, pl.EventsRetained(), len(pl.Samples()))
 	return 0
 }
 
 // runAll fans the script out over every scheme on a worker pool; the
 // Baseline row (always index 0) anchors the speedup and write columns.
-func runAll(script workload.Script, machineCfg func(lelantus.Scheme) lelantus.Config, parallel int, asJSON bool) int {
+// Per-cell failures are isolated: surviving rows still print, and the
+// failures are reported together.
+func runAll(script workload.Script, machineCfg func(lelantus.Scheme) lelantus.Config, parallel int, asJSON bool, stdout, stderr io.Writer) int {
 	schemes := lelantus.Schemes()
 	jobs := make([]lelantus.GridJob, len(schemes))
 	for i, s := range schemes {
 		jobs[i] = lelantus.GridJob{Tag: s.String(), Config: machineCfg(s), Script: script}
 	}
-	results, err := lelantus.RunGrid(jobs, parallel)
-	if err != nil {
-		return fail(err)
+	results, errs := lelantus.RunGridErrs(jobs, parallel)
+	failed := 0
+	for i, err := range errs {
+		if err != nil {
+			fmt.Fprintf(stderr, "lelantus-sim: %s: %v\n", jobs[i].Tag, err)
+			failed++
+		}
 	}
 	if asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		if failed > 0 {
+			return 1
+		}
+		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", " ")
 		if err := enc.Encode(results); err != nil {
-			return fail(err)
+			fmt.Fprintf(stderr, "lelantus-sim: %v\n", err)
+			return 1
 		}
 		return 0
 	}
 	base := results[0]
-	fmt.Printf("workload   %s\n", script.Name)
-	fmt.Printf("%-16s %12s %12s %12s %9s %9s\n",
+	fmt.Fprintf(stdout, "workload   %s\n", script.Name)
+	fmt.Fprintf(stdout, "%-16s %12s %12s %12s %9s %9s\n",
 		"scheme", "exec-ms", "nvm-reads", "nvm-writes", "speedup", "writes%")
 	for i, s := range schemes {
+		if errs[i] != nil {
+			fmt.Fprintf(stdout, "%-16v %12s\n", s, "FAILED")
+			continue
+		}
 		res := results[i]
-		fmt.Printf("%-16v %12.3f %12d %12d %8.2fx %8.2f%%\n",
+		fmt.Fprintf(stdout, "%-16v %12.3f %12d %12d %8.2fx %8.2f%%\n",
 			s, float64(res.ExecNs)/1e6, res.NVMReads, res.NVMWrites,
 			res.SpeedupVs(base), 100*res.WriteReductionVs(base))
+	}
+	if failed > 0 {
+		return 1
 	}
 	return 0
 }

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestBadFlagValuesExitTwo pins the CLI's flag-hardening contract: an
+// invalid enum value produces exactly one actionable stderr line naming the
+// bad value and exits 2 — before any simulation, file write or profile
+// starts.
+func TestBadFlagValuesExitTwo(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // substring the diagnosis must carry
+	}{
+		{"bad scheme", []string{"-scheme", "lelantos"}, "lelantos"},
+		{"bad fidelity", []string{"-fidelity", "fast"}, "fast"},
+		{"bad persist", []string{"-persist", "nope"}, "nope"},
+		{"bad persist triad arg", []string{"-persist", "triad:x"}, "triad"},
+		{"bad mlp", []string{"-mlp", "maybe"}, "maybe"},
+		{"bad prefetch", []string{"-prefetch", "nope"}, "nope"},
+		{"bad probe format", []string{"-probe", "-probe-format", "csv"}, "csv"},
+		{"bad workload", []string{"-workload", "nope"}, "nope"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2 (stderr: %s)", code, stderr.String())
+			}
+			msg := strings.TrimRight(stderr.String(), "\n")
+			if strings.Contains(msg, "\n") {
+				t.Fatalf("diagnosis is not one line:\n%s", msg)
+			}
+			if !strings.Contains(msg, tc.want) {
+				t.Fatalf("diagnosis %q does not name the bad value %q", msg, tc.want)
+			}
+			if !strings.HasPrefix(msg, "lelantus-sim: ") {
+				t.Fatalf("diagnosis %q does not identify the program", msg)
+			}
+			if stdout.Len() != 0 {
+				t.Fatalf("bad flag value produced stdout output: %q", stdout.String())
+			}
+		})
+	}
+}
+
+func TestUnknownFlagExitsTwo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-no-such-flag"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "no-such-flag") {
+		t.Fatalf("stderr %q does not name the unknown flag", stderr.String())
+	}
+}
+
+func TestListExitsZero(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-list"}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "forkbench") {
+		t.Fatalf("-list output %q does not mention forkbench", stdout.String())
+	}
+}

@@ -143,9 +143,22 @@ func (o Options) job(tag string, scheme core.Scheme, script workload.Script, mut
 
 // runGrid fans a job list out over the configured worker pool. Generators
 // build their jobs in row order and consume the index-aligned results in
-// the same order, so every table is independent of the worker count.
+// the same order, so every table is independent of the worker count. Cell
+// failures are isolated per job and aggregated, so one broken cell reports
+// every broken sibling alongside it instead of masking them.
 func (o Options) runGrid(jobs []sim.GridJob) ([]sim.Result, error) {
-	return sim.RunGrid(jobs, o.Parallel)
+	results, errs := sim.RunGridErrs(jobs, o.Parallel)
+	var failed []string
+	for i, err := range errs {
+		if err != nil {
+			failed = append(failed, fmt.Sprintf("%s: %v", jobs[i].Tag, err))
+		}
+	}
+	if len(failed) > 0 {
+		return results, fmt.Errorf("experiments: %d/%d grid cells failed:\n  %s",
+			len(failed), len(jobs), strings.Join(failed, "\n  "))
+	}
+	return results, nil
 }
 
 // forkbenchParams scales forkbench for the option set.
@@ -217,53 +230,72 @@ func All(o Options) ([]*Report, error) {
 	return reports, nil
 }
 
-// ByID regenerates a single experiment.
-func ByID(o Options, id string) (*Report, error) {
+// generatorByID resolves an experiment identifier (including the fig9 /
+// fig11 aliases) to its generator.
+func generatorByID(id string) (func(Options) (*Report, error), error) {
 	switch id {
 	case "fig2":
-		return Fig2(o)
+		return Fig2, nil
 	case "tableI":
-		return TableI(o)
+		return TableI, nil
 	case "tableIII":
-		return TableIII(o)
+		return TableIII, nil
 	case "tableIV":
-		return TableIV(o)
+		return TableIV, nil
 	case "fig9", "fig9-4KB":
-		return Fig9(o, false)
+		return func(o Options) (*Report, error) { return Fig9(o, false) }, nil
 	case "fig9-2MB":
-		return Fig9(o, true)
+		return func(o Options) (*Report, error) { return Fig9(o, true) }, nil
 	case "fig10":
-		return Fig10(o)
+		return Fig10, nil
 	case "tableV":
-		return TableV(o)
+		return TableV, nil
 	case "fig11", "fig11-4KB":
-		return Fig11(o, false)
+		return func(o Options) (*Report, error) { return Fig11(o, false) }, nil
 	case "fig11-2MB":
-		return Fig11(o, true)
+		return func(o Options) (*Report, error) { return Fig11(o, true) }, nil
 	case "fig12":
-		return Fig12(o)
+		return Fig12, nil
 	case "ablation-nonsecure":
-		return AblationNonSecure(o)
+		return AblationNonSecure, nil
 	case "ablation-cowcache":
-		return AblationCoWCache(o)
+		return AblationCoWCache, nil
 	case "ablation-ctrcache":
-		return AblationCtrCache(o)
+		return AblationCtrCache, nil
 	case "ablation-wear":
-		return AblationWear(o)
+		return AblationWear, nil
 	case "ablation-tlb":
-		return AblationTLB(o)
+		return AblationTLB, nil
 	case "usecases":
-		return UseCases(o)
+		return UseCases, nil
 	case "ablation-writequeue":
-		return AblationWriteQueue(o)
+		return AblationWriteQueue, nil
 	case "persist-matrix":
-		return PersistMatrix(o)
+		return PersistMatrix, nil
 	case "mlp-matrix":
-		return MLPMatrix(o)
+		return MLPMatrix, nil
 	case "prefetch-matrix":
-		return PrefetchMatrix(o)
+		return PrefetchMatrix, nil
 	}
-	return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	return nil, fmt.Errorf("experiments: unknown experiment %q (see -list)", id)
+}
+
+// Lookup validates an experiment identifier without running it, so a CLI
+// can reject a typo before any simulation starts. It returns the id.
+func Lookup(id string) (string, error) {
+	if _, err := generatorByID(id); err != nil {
+		return "", err
+	}
+	return id, nil
+}
+
+// ByID regenerates a single experiment.
+func ByID(o Options, id string) (*Report, error) {
+	gen, err := generatorByID(id)
+	if err != nil {
+		return nil, err
+	}
+	return gen(o)
 }
 
 // IDs lists the experiment identifiers in paper order.

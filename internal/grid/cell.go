@@ -1,0 +1,74 @@
+package grid
+
+import (
+	"fmt"
+	"runtime/debug"
+
+	"lelantus/internal/sim"
+)
+
+// CellResult is the self-contained outcome of one cell: the spec that
+// produced it (so a results log is meaningful without its checkpoint), and
+// exactly one of a measurement result, a crash-recovery cell, or an error.
+// It deliberately carries nothing host- or schedule-dependent (no wall
+// clock, no attempt count, no worker identity): the merged report is built
+// from CellResults alone, which is what makes it byte-identical across
+// worker counts, steal orders and kill/resume sequences.
+type CellResult struct {
+	ID     string         `json:"id"`
+	Tag    string         `json:"tag"`
+	Spec   CellSpec       `json:"spec"`
+	Result *sim.Result    `json:"result,omitempty"`
+	Crash  *sim.CrashCell `json:"crash,omitempty"`
+	Err    string         `json:"error,omitempty"`
+}
+
+// failed reports whether the cell ended in an error. A crash cell with
+// recovery-invariant violations is also a failure: the grid exists to
+// surface exactly that.
+func (r CellResult) failed() bool {
+	if r.Err != "" {
+		return true
+	}
+	return r.Crash != nil && len(r.Crash.Violations) > 0
+}
+
+// RunCell executes one cell in the calling process. It never panics and
+// never returns a partial result: any panic under the simulation is
+// recovered into the cell's Err field with its stack, so a corrupt cell
+// degrades to one failed record instead of killing the coordinator or a
+// worker subprocess.
+func RunCell(spec CellSpec) (out CellResult) {
+	out = CellResult{ID: spec.ID(), Tag: spec.Tag(), Spec: spec}
+	defer func() {
+		if r := recover(); r != nil {
+			out.Result, out.Crash = nil, nil
+			out.Err = fmt.Sprintf("cell panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	cfg, script, err := spec.Build()
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	if spec.CrashPoint > 0 {
+		seed := spec.FaultSeed
+		if seed == 0 {
+			seed = 1
+		}
+		cell, err := sim.CrashAt(cfg, script, seed, spec.CrashPoint)
+		if err != nil {
+			out.Err = err.Error()
+			return out
+		}
+		out.Crash = &cell
+		return out
+	}
+	res, err := sim.RunWith(cfg, script)
+	if err != nil {
+		out.Err = err.Error()
+		return out
+	}
+	out.Result = &res
+	return out
+}

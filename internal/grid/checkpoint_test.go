@@ -1,0 +1,87 @@
+package grid
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func testState() *State {
+	spec := Spec{Name: "t", Workloads: []string{"forkbench"}, Schemes: []string{"lelantus"}, RegionKB: 64}.withDefaults()
+	return &State{Version: stateVersion, SpecHash: spec.Hash(), Spec: spec, Total: len(spec.Cells())}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st := testState()
+	if err := SaveState(dir, st); err != nil {
+		t.Fatalf("SaveState: %v", err)
+	}
+	got, err := LoadState(dir)
+	if err != nil {
+		t.Fatalf("LoadState: %v", err)
+	}
+	if !reflect.DeepEqual(got, st) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, st)
+	}
+	// A second save atomically replaces the first.
+	st.Done = 1
+	if err := SaveState(dir, st); err != nil {
+		t.Fatalf("second SaveState: %v", err)
+	}
+	if got, err = LoadState(dir); err != nil || got.Done != 1 {
+		t.Fatalf("after rewrite: state %+v, err %v", got, err)
+	}
+	// No temp files may survive a successful save.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("leftover temp file %s", e.Name())
+		}
+	}
+}
+
+func TestLoadStateRejectsMissingAndCorrupt(t *testing.T) {
+	if _, err := LoadState(t.TempDir()); err == nil {
+		t.Fatal("LoadState on an empty directory succeeded")
+	}
+
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, stateFile), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadState(dir); err == nil {
+		t.Fatal("LoadState accepted corrupt JSON")
+	}
+
+	dir = t.TempDir()
+	st := testState()
+	st.Version = stateVersion + 1
+	if err := SaveState(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadState(dir); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("unknown version: err = %v, want a version error", err)
+	}
+}
+
+func TestLoadStateRejectsTamperedSpec(t *testing.T) {
+	dir := t.TempDir()
+	st := testState()
+	if err := SaveState(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	// Edit the spec but keep the recorded hash: resume must refuse.
+	st.Spec.RegionKB = 128
+	if err := SaveState(dir, st); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadState(dir); err == nil || !strings.Contains(err.Error(), "hash") {
+		t.Fatalf("tampered checkpoint: err = %v, want a spec-hash error", err)
+	}
+}

@@ -1,0 +1,323 @@
+package grid
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// CLIMain is the whole `lelantus-grid` program: cmd/lelantus-grid is a
+// one-line wrapper, and the harness tests drive the CLI end-to-end (kill,
+// resume, byte-compare) by re-exec'ing their own test binary into this
+// function. Exit codes: 0 success, 1 runtime failure (or failed cells
+// under -strict), 2 usage/flag errors.
+func CLIMain(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		usage(stderr)
+		return 2
+	}
+	switch args[0] {
+	case "run":
+		return cmdRun(args[1:], stdout, stderr)
+	case "resume":
+		return cmdResume(args[1:], stdout, stderr)
+	case "status":
+		return cmdStatus(args[1:], stdout, stderr)
+	case "worker":
+		return WorkerMain(os.Stdin, stdout, stderr)
+	case "-h", "-help", "--help", "help":
+		usage(stdout)
+		return 0
+	}
+	fmt.Fprintf(stderr, "lelantus-grid: unknown command %q (want run, resume, status or worker)\n", args[0])
+	return 2
+}
+
+func usage(w io.Writer) {
+	fmt.Fprint(w, `lelantus-grid — resumable, fault-tolerant experiment grids
+
+  lelantus-grid run    -dir DIR [axis and runtime flags]   start a grid
+  lelantus-grid resume -dir DIR [runtime flags]            continue after a kill
+  lelantus-grid status -dir DIR                            progress of a grid
+  lelantus-grid worker                                     (internal) run one cell from stdin
+
+A grid directory holds state.json (atomic checkpoint), results.log
+(append-only checksummed cell results) and report.json (merged report,
+sorted by cell ID — byte-identical for a spec at any worker count and
+across any kill/resume sequence). See README "Running large grids".
+`)
+}
+
+// runtimeOpts binds the coordinator knobs shared by run and resume.
+type runtimeOpts struct {
+	workers *int
+	isolate *bool
+	timeout *time.Duration
+	retries *int
+	backoff *time.Duration
+	strict  *bool
+	quiet   *bool
+}
+
+func addRuntimeFlags(fs *flag.FlagSet) *runtimeOpts {
+	return &runtimeOpts{
+		workers: fs.Int("workers", 0, "in-process worker pool (0 = all CPUs); the report is byte-identical at any setting"),
+		isolate: fs.Bool("isolate", false, "run every cell in a worker subprocess (hard-kills wedged cells, survives per-cell OOM)"),
+		timeout: fs.Duration("timeout", 0, "per-cell wall-clock budget (0 = none), e.g. 90s"),
+		retries: fs.Int("retries", 1, "extra attempts for a failing cell before its failure is recorded"),
+		backoff: fs.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt, capped at 30s)"),
+		strict:  fs.Bool("strict", false, "exit non-zero when any cell ends up failed"),
+		quiet:   fs.Bool("quiet", false, "suppress per-cell progress lines"),
+	}
+}
+
+func (r *runtimeOpts) options(stderr io.Writer) Options {
+	logW := stderr
+	if *r.quiet {
+		logW = nil
+	}
+	return Options{
+		Workers: *r.workers,
+		Isolate: *r.isolate,
+		Timeout: *r.timeout,
+		Retries: *r.retries,
+		Backoff: *r.backoff,
+		Log:     logW,
+	}
+}
+
+func splitCSV(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	var out []string
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseInt64CSV(s string) ([]int64, error) {
+	var out []int64
+	for _, p := range splitCSV(s) {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q in list %q", p, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseUint64CSV(s string) ([]uint64, error) {
+	var out []uint64
+	for _, p := range splitCSV(s) {
+		v, err := strconv.ParseUint(p, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad unsigned integer %q in list %q", p, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parsePageModes(s string) ([]bool, error) {
+	switch s {
+	case "4kb", "4KB":
+		return []bool{false}, nil
+	case "2mb", "2MB":
+		return []bool{true}, nil
+	case "both":
+		return []bool{false, true}, nil
+	}
+	return nil, fmt.Errorf("unknown page mode %q (want 4kb, 2mb or both)", s)
+}
+
+func cmdRun(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lelantus-grid run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "grid-run", "grid directory (checkpoint, results log, report)")
+	preset := fs.String("spec", "", "named preset spec (quick, schemes-matrix, persist-matrix, mlp-matrix, prefetch-matrix, crash-matrix); axis flags override its axes")
+	name := fs.String("name", "", "grid name recorded in the report")
+	workloads := fs.String("workloads", "", "comma-separated catalogue workloads (default forkbench)")
+	schemes := fs.String("schemes", "", "comma-separated schemes (default all four)")
+	page := fs.String("page", "", "page modes: 4kb | 2mb | both (default 4kb)")
+	seeds := fs.String("seeds", "", "comma-separated workload generator seeds (default 1)")
+	persist := fs.String("persist", "", "comma-separated persistence strategies: strict | phoenix | triad:N (default strict)")
+	mlp := fs.String("mlp", "", "comma-separated MLP modes: off | on (default off)")
+	prefetch := fs.String("prefetch", "", "comma-separated prefetch modes: off | delta | chain | both (default off)")
+	prefetchDepth := fs.Int("prefetch-depth", 0, "pages per confirmed delta prediction (0 = default 4)")
+	fidelity := fs.String("fidelity", "", "fidelity for every cell: full | timing (default timing; reports are byte-identical either way)")
+	faultSeeds := fs.String("faultseeds", "", "comma-separated fault-plane seeds for crash cells (default 1)")
+	crashPoints := fs.String("crashpoints", "", "comma-separated persist points to crash cells at (default none)")
+	memMB := fs.Uint64("mem", 0, "simulated NVM capacity in MiB (0 = 512)")
+	quick := fs.Bool("quick", false, "reduced workload sizes")
+	regionKB := fs.Uint64("region-kb", 0, "forkbench region override in KiB (0 = default; the smoke-grid knob)")
+	ranks := fs.Int("ranks", 0, "NVM ranks (0 = default 2)")
+	banks := fs.Int("banks", 0, "NVM banks per rank (0 = default 8)")
+	rt := addRuntimeFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var spec Spec
+	if *preset != "" {
+		p, err := PresetByName(*preset)
+		if err != nil {
+			fmt.Fprintf(stderr, "lelantus-grid: %v\n", err)
+			return 2
+		}
+		spec = p
+	}
+	// Axis flags override the preset (or fill an empty spec); flag.Visit
+	// only reports flags the user actually set, so an untouched axis keeps
+	// the preset's value.
+	var flagErr error
+	fs.Visit(func(f *flag.Flag) {
+		if flagErr != nil {
+			return
+		}
+		var err error
+		switch f.Name {
+		case "name":
+			spec.Name = *name
+		case "workloads":
+			spec.Workloads = splitCSV(*workloads)
+		case "schemes":
+			spec.Schemes = splitCSV(*schemes)
+		case "page":
+			spec.Huge, err = parsePageModes(*page)
+		case "seeds":
+			spec.Seeds, err = parseInt64CSV(*seeds)
+		case "persist":
+			spec.Persist = splitCSV(*persist)
+		case "mlp":
+			spec.MLP = splitCSV(*mlp)
+		case "prefetch":
+			spec.Prefetch = splitCSV(*prefetch)
+		case "prefetch-depth":
+			spec.PrefetchDepth = *prefetchDepth
+		case "fidelity":
+			spec.Fidelity = *fidelity
+		case "faultseeds":
+			spec.FaultSeeds, err = parseInt64CSV(*faultSeeds)
+		case "crashpoints":
+			spec.CrashPoints, err = parseUint64CSV(*crashPoints)
+		case "mem":
+			spec.MemMB = *memMB
+		case "quick":
+			spec.Quick = *quick
+		case "region-kb":
+			spec.RegionKB = *regionKB
+		case "ranks":
+			spec.Ranks = *ranks
+		case "banks":
+			spec.Banks = *banks
+		}
+		flagErr = err
+	})
+	if flagErr != nil {
+		fmt.Fprintf(stderr, "lelantus-grid: %v\n", flagErr)
+		return 2
+	}
+	if spec.Name == "" && *preset != "" {
+		spec.Name = *preset
+	}
+
+	coord, err := Create(*dir, spec, rt.options(stderr))
+	if err != nil {
+		fmt.Fprintf(stderr, "lelantus-grid: %v\n", err)
+		// Spec/axis problems are usage errors; filesystem problems are not.
+		if verr := spec.Validate(); verr != nil {
+			return 2
+		}
+		return 1
+	}
+	return finishRun(coord, *dir, *rt.strict, stdout, stderr)
+}
+
+func cmdResume(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lelantus-grid resume", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "grid-run", "grid directory to resume")
+	rt := addRuntimeFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	coord, err := Open(*dir, rt.options(stderr))
+	if err != nil {
+		fmt.Fprintf(stderr, "lelantus-grid: %v\n", err)
+		return 1
+	}
+	return finishRun(coord, *dir, *rt.strict, stdout, stderr)
+}
+
+func finishRun(coord *Coordinator, dir string, strict bool, stdout, stderr io.Writer) int {
+	rep, err := coord.Run()
+	if err != nil {
+		fmt.Fprintf(stderr, "lelantus-grid: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "grid %s: %d/%d ok, %d failed — report %s\n",
+		rep.Name, rep.OK, rep.Total, rep.Failed, filepath.Join(dir, reportFile))
+	for _, f := range rep.Failures {
+		fmt.Fprintf(stdout, "  FAILED %s (%s): %s\n", f.Tag, f.ID, firstLine(f.Err))
+	}
+	if strict && rep.Failed > 0 {
+		return 1
+	}
+	return 0
+}
+
+func cmdStatus(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lelantus-grid status", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	dir := fs.String("dir", "grid-run", "grid directory to inspect")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	st, err := LoadState(*dir)
+	if err != nil {
+		fmt.Fprintf(stderr, "lelantus-grid: %v\n", err)
+		return 1
+	}
+	data, err := os.ReadFile(filepath.Join(*dir, logFile))
+	if err != nil && !os.IsNotExist(err) {
+		fmt.Fprintf(stderr, "lelantus-grid: %v\n", err)
+		return 1
+	}
+	recs, _, derr := DecodeLog(data)
+	done, failed := 0, 0
+	seen := make(map[string]bool, len(recs))
+	for _, rec := range recs {
+		if !seen[rec.Cell.ID] {
+			seen[rec.Cell.ID] = true
+			done++
+			if rec.Cell.failed() {
+				failed++
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "grid     %s (spec %s)\n", st.Spec.Name, st.SpecHash)
+	fmt.Fprintf(stdout, "cells    %d/%d done, %d failed, %d pending\n", done, st.Total, failed, st.Total-done)
+	switch {
+	case derr != nil:
+		fmt.Fprintf(stdout, "log      %d verified records, torn tail pending re-run (%s)\n", len(recs), firstLine(derr.Error()))
+	default:
+		fmt.Fprintf(stdout, "log      %d verified records\n", len(recs))
+	}
+	if _, err := os.Stat(filepath.Join(*dir, reportFile)); err == nil && done == st.Total {
+		fmt.Fprintf(stdout, "report   %s\n", filepath.Join(*dir, reportFile))
+	} else {
+		fmt.Fprintf(stdout, "report   pending — `lelantus-grid resume -dir %s` completes it\n", *dir)
+	}
+	return 0
+}

@@ -1,0 +1,135 @@
+package grid
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := CLIMain(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestCLIUsageAndFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		code int
+		want string // substring of stderr (or stdout for help)
+	}{
+		{"no args", nil, 2, "lelantus-grid"},
+		{"unknown command", []string{"frobnicate"}, 2, "unknown command"},
+		{"help", []string{"help"}, 0, ""},
+		{"unknown flag", []string{"run", "-dir", "x", "-no-such-flag"}, 2, "no-such-flag"},
+		{"bad page mode", []string{"run", "-dir", "x", "-page", "huge"}, 2, "page mode"},
+		{"bad seed list", []string{"run", "-dir", "x", "-seeds", "1,zap"}, 2, "bad integer"},
+		{"bad preset", []string{"run", "-dir", "x", "-spec", "nope"}, 2, "unknown preset"},
+		{"bad scheme", []string{"run", "-dir", "ignored", "-schemes", "nope"}, 2, "scheme"},
+		{"bad workload", []string{"run", "-dir", "ignored", "-workloads", "nope"}, 2, "nope"},
+		{"status missing dir", []string{"status", "-dir", "/nonexistent-grid"}, 1, "no checkpoint"},
+		{"resume missing dir", []string{"resume", "-dir", "/nonexistent-grid"}, 1, "no checkpoint"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			// Spec errors must fire before any directory is created, so the
+			// "ignored" dirs never materialise; others use a throwaway dir.
+			args := append([]string(nil), tc.args...)
+			for i, a := range args {
+				if a == "x" {
+					args[i] = filepath.Join(t.TempDir(), "g")
+				}
+			}
+			code, out, errb := runCLI(t, args...)
+			if code != tc.code {
+				t.Fatalf("exit %d, want %d (stderr: %s)", code, tc.code, errb)
+			}
+			if tc.want != "" && !strings.Contains(errb, tc.want) {
+				t.Fatalf("stderr %q does not contain %q", errb, tc.want)
+			}
+			if tc.code == 2 {
+				lines := strings.Count(strings.TrimRight(errb, "\n"), "\n") + 1
+				// flag.Parse prints the message plus usage; our own errors are
+				// one line. Either way the first line must carry the cause.
+				first, _, _ := strings.Cut(errb, "\n")
+				if tc.want != "" && !strings.Contains(first+errb, tc.want) {
+					t.Fatalf("first stderr line %q (of %d) not actionable", first, lines)
+				}
+			}
+			_ = out
+		})
+	}
+}
+
+func TestCLIRunStatusResumeFlow(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "g")
+	code, out, errb := runCLI(t, "run", "-dir", dir, "-workloads", "forkbench",
+		"-schemes", "lelantus,baseline", "-region-kb", "64", "-quiet")
+	if code != 0 {
+		t.Fatalf("run exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "2/2 ok, 0 failed") {
+		t.Fatalf("run output %q", out)
+	}
+
+	code, out, _ = runCLI(t, "status", "-dir", dir)
+	if code != 0 || !strings.Contains(out, "2/2 done") || !strings.Contains(out, "2 verified records") {
+		t.Fatalf("status exit %d output %q", code, out)
+	}
+
+	// A second `run` into the same directory must refuse, pointing at resume.
+	code, _, errb = runCLI(t, "run", "-dir", dir, "-workloads", "forkbench",
+		"-schemes", "lelantus,baseline", "-region-kb", "64", "-quiet")
+	if code != 1 || !strings.Contains(errb, "resume") {
+		t.Fatalf("re-run exit %d stderr %q, want a refusal pointing at resume", code, errb)
+	}
+
+	code, out, errb = runCLI(t, "resume", "-dir", dir, "-quiet")
+	if code != 0 || !strings.Contains(out, "2/2 ok") {
+		t.Fatalf("resume exit %d out %q stderr %q", code, out, errb)
+	}
+}
+
+func TestCLIStrictFailsOnFailedCells(t *testing.T) {
+	// A crash point far past the script's persist-point count fails the cell
+	// deterministically ("crash point never fired"), so the grid completes
+	// with a failures section: exit 0 normally, exit 1 under -strict.
+	dir := filepath.Join(t.TempDir(), "g")
+	args := []string{"run", "-dir", dir, "-workloads", "forkbench", "-schemes", "lelantus",
+		"-region-kb", "64", "-crashpoints", "99999999", "-retries", "0", "-quiet"}
+	code, out, _ := runCLI(t, args...)
+	if code != 0 {
+		t.Fatalf("non-strict run with failed cells exited %d, want 0 (graceful degradation)", code)
+	}
+	if !strings.Contains(out, "0/1 ok, 1 failed") || !strings.Contains(out, "FAILED") {
+		t.Fatalf("run output %q, want the failure surfaced", out)
+	}
+
+	dir2 := filepath.Join(t.TempDir(), "g")
+	strictArgs := append(append([]string(nil), args...), "-strict")
+	for i, a := range strictArgs {
+		if a == dir {
+			strictArgs[i] = dir2
+		}
+	}
+	if code, _, _ := runCLI(t, strictArgs...); code != 1 {
+		t.Fatalf("-strict run with failed cells exited %d, want 1", code)
+	}
+}
+
+func TestCLIPresetWithOverride(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "g")
+	// quick preset is 4 schemes × forkbench; override to one scheme and a
+	// smoke-sized region so the test stays sub-second.
+	code, out, errb := runCLI(t, "run", "-dir", dir, "-spec", "quick",
+		"-schemes", "lelantus", "-region-kb", "64", "-quiet")
+	if code != 0 {
+		t.Fatalf("preset run exit %d, stderr: %s", code, errb)
+	}
+	if !strings.Contains(out, "grid quick: 1/1 ok") {
+		t.Fatalf("preset run output %q, want the preset name and 1 overridden cell", out)
+	}
+}

@@ -1,0 +1,132 @@
+package grid
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"strconv"
+)
+
+// The results log is the grid's durable truth: one line per finished cell,
+// appended with a single write. Each line is
+//
+//	CRC32C(payload) as 8 hex digits, one space, the payload JSON, '\n'
+//
+// where the payload is the canonical encoding of a Record. The checksum
+// plus the canonical-form check below make every class of torn or
+// corrupted suffix *detected*: a record is either accepted exactly as it
+// was written or rejected, never reinterpreted — the property FuzzDecodeLog
+// drives with arbitrary truncations and bit flips.
+
+// Record is one results-log line: a finished cell plus the bookkeeping
+// that belongs in the log but not in the merged report (attempt counts are
+// schedule-dependent, and the report must stay byte-identical across
+// kill/resume sequences).
+type Record struct {
+	Cell     CellResult `json:"cell"`
+	Attempts int        `json:"attempts"`
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// maxRecordBytes bounds one log line. Cell results are a few KB; the cap
+// only exists so a corrupted length/newline structure cannot make the
+// decoder buffer an unbounded "record".
+const maxRecordBytes = 16 << 20
+
+// encodeRecord renders the canonical line for a record.
+func encodeRecord(rec Record) ([]byte, error) {
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return nil, fmt.Errorf("grid: marshal record: %w", err)
+	}
+	line := make([]byte, 0, len(payload)+10)
+	line = fmt.Appendf(line, "%08x ", crc32.Checksum(payload, crcTable))
+	line = append(line, payload...)
+	line = append(line, '\n')
+	return line, nil
+}
+
+// AppendRecord writes one record as a single checksummed line with one
+// Write call, so a crash while appending leaves at most a torn final line
+// — which DecodeLog detects and resume truncates and re-runs.
+func AppendRecord(w io.Writer, rec Record) error {
+	line, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(line); err != nil {
+		return fmt.Errorf("grid: append record: %w", err)
+	}
+	return nil
+}
+
+// TornError reports that the log's suffix past Offset failed verification.
+// A torn tail is the expected signature of a killed run (resume truncates
+// it and re-runs the cell); anything else it describes is corruption.
+type TornError struct {
+	Offset int64  // byte length of the valid prefix
+	Reason string // what failed first past the prefix
+}
+
+func (e *TornError) Error() string {
+	return fmt.Sprintf("grid: torn or corrupt results-log record at byte %d: %s", e.Offset, e.Reason)
+}
+
+// DecodeLog parses a results log. It returns every verified record in
+// order, the byte length of the valid prefix, and a *TornError when
+// anything past that prefix failed verification (nil error means the whole
+// log verified). Verification is strict: the checksum must match, the
+// payload must unmarshal, the payload must be in canonical form (re-
+// encoding the record reproduces the line bit for bit, so a forged or
+// hand-edited record cannot smuggle bytes the encoder never wrote), and
+// the record's cell ID must equal the hash of its own spec — a record can
+// therefore never be attributed to the wrong cell.
+func DecodeLog(data []byte) ([]Record, int64, error) {
+	var recs []Record
+	var valid int64
+	torn := func(reason string) ([]Record, int64, error) {
+		return recs, valid, &TornError{Offset: valid, Reason: reason}
+	}
+	for int(valid) < len(data) {
+		rest := data[valid:]
+		nl := bytes.IndexByte(rest, '\n')
+		if nl < 0 {
+			if len(rest) > maxRecordBytes {
+				return torn("unterminated record exceeds the size cap")
+			}
+			return torn("truncated record (no trailing newline)")
+		}
+		if nl > maxRecordBytes {
+			return torn("record exceeds the size cap")
+		}
+		line := rest[:nl]
+		if len(line) < 10 || line[8] != ' ' {
+			return torn("malformed checksum prefix")
+		}
+		want, err := strconv.ParseUint(string(line[:8]), 16, 32)
+		if err != nil {
+			return torn("unparseable checksum")
+		}
+		payload := line[9:]
+		if crc32.Checksum(payload, crcTable) != uint32(want) {
+			return torn("checksum mismatch")
+		}
+		var rec Record
+		if err := json.Unmarshal(payload, &rec); err != nil {
+			return torn(fmt.Sprintf("checksummed payload is not a record: %v", err))
+		}
+		canonical, err := encodeRecord(rec)
+		if err != nil || !bytes.Equal(canonical, rest[:nl+1]) {
+			return torn("record is not in canonical form")
+		}
+		if rec.Cell.ID != rec.Cell.Spec.ID() {
+			return torn(fmt.Sprintf("cell ID %q does not match its spec (want %s)", rec.Cell.ID, rec.Cell.Spec.ID()))
+		}
+		recs = append(recs, rec)
+		valid += int64(nl + 1)
+	}
+	return recs, valid, nil
+}

@@ -1,0 +1,193 @@
+package grid
+
+import (
+	"bytes"
+	"fmt"
+	"hash/crc32"
+	"reflect"
+	"testing"
+)
+
+// stubRecord builds a deterministic log record without running a simulation.
+func stubRecord(seed int64) Record {
+	spec := CellSpec{Workload: "forkbench", Scheme: "lelantus", Seed: seed, RegionKB: 64}
+	return Record{
+		Cell:     CellResult{ID: spec.ID(), Tag: spec.Tag(), Spec: spec},
+		Attempts: 1,
+	}
+}
+
+func stubLog(t testing.TB, n int) ([]Record, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	var recs []Record
+	for i := 0; i < n; i++ {
+		rec := stubRecord(int64(i + 1))
+		recs = append(recs, rec)
+		if err := AppendRecord(&buf, rec); err != nil {
+			t.Fatalf("AppendRecord: %v", err)
+		}
+	}
+	return recs, buf.Bytes()
+}
+
+// checkDecodeInvariants asserts the properties FuzzDecodeLog drives: the
+// valid prefix is within bounds, err is nil exactly when the whole log
+// verified, decoded records re-encode bit for bit to the valid prefix, and
+// every record's cell ID matches its own spec.
+func checkDecodeInvariants(t testing.TB, data []byte) ([]Record, int64, error) {
+	t.Helper()
+	recs, valid, err := DecodeLog(data)
+	if valid < 0 || valid > int64(len(data)) {
+		t.Fatalf("valid prefix %d out of bounds for %d-byte log", valid, len(data))
+	}
+	if (err == nil) != (valid == int64(len(data))) {
+		t.Fatalf("err=%v with valid=%d/%d: err must be non-nil exactly when a suffix failed", err, valid, len(data))
+	}
+	if err != nil {
+		if _, ok := err.(*TornError); !ok {
+			t.Fatalf("DecodeLog error is %T, want *TornError", err)
+		}
+	}
+	var re []byte
+	for _, rec := range recs {
+		line, encErr := encodeRecord(rec)
+		if encErr != nil {
+			t.Fatalf("re-encode decoded record: %v", encErr)
+		}
+		re = append(re, line...)
+		if rec.Cell.ID != rec.Cell.Spec.ID() {
+			t.Fatalf("decoded record carries ID %s for spec %s", rec.Cell.ID, rec.Cell.Spec.ID())
+		}
+	}
+	if !bytes.Equal(re, data[:valid]) {
+		t.Fatalf("decoded records do not re-encode to the valid prefix")
+	}
+	return recs, valid, err
+}
+
+// isPrefixOf reports whether got is an element-wise prefix of want (nil and
+// empty are both the empty prefix).
+func isPrefixOf(got, want []Record) bool {
+	if len(got) > len(want) {
+		return false
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLogRoundTrip(t *testing.T) {
+	want, data := stubLog(t, 5)
+	recs, valid, err := checkDecodeInvariants(t, data)
+	if err != nil {
+		t.Fatalf("clean log decoded with error: %v", err)
+	}
+	if valid != int64(len(data)) {
+		t.Fatalf("valid prefix %d, want %d", valid, len(data))
+	}
+	if !reflect.DeepEqual(recs, want) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", recs, want)
+	}
+}
+
+func TestLogTruncationAtEveryOffset(t *testing.T) {
+	want, data := stubLog(t, 3)
+	// Record boundaries (cumulative line lengths) are the only offsets where
+	// a truncated log still verifies clean.
+	boundary := map[int64]bool{0: true}
+	var off int64
+	for _, rec := range want {
+		line, err := encodeRecord(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		off += int64(len(line))
+		boundary[off] = true
+	}
+	for cut := 0; cut <= len(data); cut++ {
+		recs, valid, err := checkDecodeInvariants(t, data[:cut])
+		if boundary[int64(cut)] {
+			if err != nil {
+				t.Fatalf("cut at boundary %d: unexpected error %v", cut, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Fatalf("cut at %d verified clean: torn tail undetected", cut)
+		}
+		if !isPrefixOf(recs, want) {
+			t.Fatalf("cut at %d: surviving records are not a clean prefix", cut)
+		}
+		_ = valid
+	}
+}
+
+func TestLogBitFlipAlwaysDetected(t *testing.T) {
+	want, data := stubLog(t, 3)
+	for i := range data {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= 1 << bit
+			recs, _, err := checkDecodeInvariants(t, mut)
+			if err == nil {
+				t.Fatalf("flip byte %d bit %d: corruption verified clean", i, bit)
+			}
+			// Never a wrong record: survivors must be an untouched prefix.
+			if !isPrefixOf(recs, want) {
+				t.Fatalf("flip byte %d bit %d: decoder produced a record that was never written", i, bit)
+			}
+		}
+	}
+}
+
+func TestLogRejectsForgedCellID(t *testing.T) {
+	rec := stubRecord(1)
+	rec.Cell.ID = "0000000000000000" // checksum and canonical form will both pass
+	line, err := encodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, valid, derr := DecodeLog(line)
+	if derr == nil || len(recs) != 0 || valid != 0 {
+		t.Fatalf("forged cell ID accepted: recs=%d valid=%d err=%v", len(recs), valid, derr)
+	}
+}
+
+func TestLogRejectsNonCanonicalPayload(t *testing.T) {
+	rec := stubRecord(1)
+	line, err := encodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same JSON meaning, different bytes: insert a space, fix the checksum.
+	payload := append(append([]byte(nil), line[9:len(line)-1]...), ' ')
+	forged := []byte(fmt.Sprintf("%08x ", crc32.Checksum(payload, crcTable)))
+	forged = append(forged, payload...)
+	forged = append(forged, '\n')
+	recs, valid, derr := DecodeLog(forged)
+	if derr == nil || len(recs) != 0 || valid != 0 {
+		t.Fatalf("non-canonical payload accepted: recs=%d valid=%d err=%v", len(recs), valid, derr)
+	}
+}
+
+// FuzzDecodeLog is the satellite fuzz target: arbitrary truncation and bit
+// flips of a results log must yield a detected torn-record error — never a
+// wrong cell result, never a panic.
+func FuzzDecodeLog(f *testing.F) {
+	_, data := stubLog(f, 3)
+	f.Add(data)
+	f.Add(data[:len(data)/2])
+	f.Add(data[:len(data)-1])
+	flipped := append([]byte(nil), data...)
+	flipped[len(flipped)/3] ^= 0x40
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("deadbeef {\"cell\":{}}\n"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		checkDecodeInvariants(t, in)
+	})
+}

@@ -1,0 +1,19 @@
+package grid
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain lets the test binary double as the lelantus-grid CLI: when the
+// coordinator (or the kill-resume harness) re-execs os.Executable() with
+// LELANTUS_GRID_CLI=1, the process routes straight into CLIMain instead of
+// running the test suite. This is how TestGridKillResume drives the whole
+// run/kill/resume flow, and how Isolate-mode coordinator tests get worker
+// subprocesses, without shelling out to `go build`.
+func TestMain(m *testing.M) {
+	if os.Getenv(reexecEnv) == "1" {
+		os.Exit(CLIMain(os.Args[1:], os.Stdout, os.Stderr))
+	}
+	os.Exit(m.Run())
+}

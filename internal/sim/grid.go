@@ -3,8 +3,9 @@ package sim
 import (
 	"fmt"
 	"runtime"
-	"sync"
+	"runtime/debug"
 
+	"lelantus/internal/steal"
 	"lelantus/internal/workload"
 )
 
@@ -38,50 +39,58 @@ func GridWorkers(requested, jobs int) int {
 	return w
 }
 
-// RunGrid executes every job on a fresh machine, fanning the jobs out over
-// a pool of at most `workers` goroutines (<= 0 selects GOMAXPROCS). Every
-// Machine is fully isolated — no state is shared between jobs — so the
-// grid is embarrassingly parallel. Results are index-aligned with jobs,
-// which makes the output independent of the worker count and of goroutine
-// scheduling: the same jobs produce byte-identical results at workers=1
-// and workers=N. All jobs run even if some fail; the error of the
-// lowest-indexed failing job is returned.
-func RunGrid(jobs []GridJob, workers int) ([]Result, error) {
+// runJob executes one grid cell on a fresh machine, converting a panic
+// anywhere under the cell (machine construction, the run, the After hook)
+// into a per-cell error instead of killing the whole process: one corrupt
+// cell must never take down the other cells' finished work.
+func runJob(job *GridJob) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{}
+			err = fmt.Errorf("cell panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	m, err := NewMachine(job.Config)
+	if err != nil {
+		return Result{}, err
+	}
+	res, err = m.Run(job.Script)
+	if err != nil {
+		return Result{}, err
+	}
+	if job.After != nil {
+		job.After(m, res)
+	}
+	return res, nil
+}
+
+// RunGridErrs executes every job on a fresh machine over a work-stealing
+// pool of at most `workers` goroutines (<= 0 selects GOMAXPROCS) and
+// returns results and errors index-aligned with the jobs. Failures are
+// fully isolated per cell: a job that errors — or panics — leaves its
+// error in its own slot while every surviving cell still runs to
+// completion and returns its result. Machines share no state, and outputs
+// are written index-aligned, so the result slice is byte-identical at any
+// worker count and any steal order.
+func RunGridErrs(jobs []GridJob, workers int) ([]Result, []error) {
 	results := make([]Result, len(jobs))
 	errs := make([]error, len(jobs))
 	if len(jobs) == 0 {
-		return results, nil
+		return results, errs
 	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := GridWorkers(workers, len(jobs)); w > 0; w-- {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				job := &jobs[i]
-				m, err := NewMachine(job.Config)
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				res, err := m.Run(job.Script)
-				if err != nil {
-					errs[i] = err
-					continue
-				}
-				if job.After != nil {
-					job.After(m, res)
-				}
-				results[i] = res
-			}
-		}()
-	}
-	for i := range jobs {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
+	steal.Run(len(jobs), GridWorkers(workers, len(jobs)), func(i int) {
+		results[i], errs[i] = runJob(&jobs[i])
+	})
+	return results, errs
+}
+
+// RunGrid executes every job like RunGridErrs and keeps the historical
+// single-error signature: all jobs run even if some fail, every surviving
+// cell's result is returned, and the error of the lowest-indexed failing
+// job (wrapped with its tag) reports the failure. Callers that need every
+// cell's verdict use RunGridErrs.
+func RunGrid(jobs []GridJob, workers int) ([]Result, error) {
+	results, errs := RunGridErrs(jobs, workers)
 	for i, err := range errs {
 		if err != nil {
 			return results, fmt.Errorf("sim: grid job %d (%s): %w", i, jobs[i].Tag, err)

@@ -114,6 +114,65 @@ func TestRunGridErrorNamesJob(t *testing.T) {
 	}
 }
 
+// TestRunGridErrsIsolatesFailures is the regression test for the grid
+// failure semantics: a failing cell must not abort the grid — every
+// surviving cell still returns its full result, and each failure sits in
+// its own error slot instead of masking the others.
+func TestRunGridErrsIsolatesFailures(t *testing.T) {
+	bad := workload.NewBuilder("bad")
+	bad.Spawn(0)
+	bad.Exit(0)
+	bad.Store(0, 0, 0, 8, 1) // store by a dead process
+	jobs := []GridJob{
+		{Tag: "good-0", Config: smallConfig(core.Baseline), Script: gridScript(512)},
+		{Tag: "broken-1", Config: smallConfig(core.Baseline), Script: bad.Script()},
+		{Tag: "good-2", Config: smallConfig(core.Lelantus), Script: gridScript(512)},
+		{Tag: "broken-3", Config: smallConfig(core.Lelantus), Script: bad.Script()},
+	}
+	results, errs := RunGridErrs(jobs, 2)
+	for _, i := range []int{1, 3} {
+		if errs[i] == nil {
+			t.Fatalf("job %d (%s): expected an error", i, jobs[i].Tag)
+		}
+	}
+	for _, i := range []int{0, 2} {
+		if errs[i] != nil {
+			t.Fatalf("job %d (%s): unexpected error: %v", i, jobs[i].Tag, errs[i])
+		}
+		if results[i].NVMWrites == 0 {
+			t.Fatalf("job %d (%s): surviving cell did not run to completion", i, jobs[i].Tag)
+		}
+		want, err := RunWith(jobs[i].Config, jobs[i].Script)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if results[i] != want {
+			t.Fatalf("job %d (%s): surviving cell's result differs from a solo run", i, jobs[i].Tag)
+		}
+	}
+}
+
+// TestRunGridRecoversPanics: a panicking cell (here via the After hook, the
+// only externally injectable panic site) becomes that cell's error instead
+// of killing the process and every other cell's finished work.
+func TestRunGridRecoversPanics(t *testing.T) {
+	jobs := []GridJob{
+		{Tag: "ok", Config: smallConfig(core.Baseline), Script: gridScript(512)},
+		{Tag: "panicky", Config: smallConfig(core.Baseline), Script: gridScript(512),
+			After: func(*Machine, Result) { panic("injected cell panic") }},
+	}
+	results, errs := RunGridErrs(jobs, 2)
+	if errs[0] != nil {
+		t.Fatalf("healthy cell errored: %v", errs[0])
+	}
+	if results[0].NVMWrites == 0 {
+		t.Fatal("healthy cell did not run")
+	}
+	if errs[1] == nil || !strings.Contains(errs[1].Error(), "injected cell panic") {
+		t.Fatalf("panic was not converted to the cell's error: %v", errs[1])
+	}
+}
+
 // TestKSMTimeAttribution is the regression test for the KSM billing bug:
 // OpKSM carries its participants in op.Procs and leaves op.Proc at zero,
 // so its elapsed time used to be billed to process slot 0 even when slot 0

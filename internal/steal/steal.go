@@ -1,0 +1,122 @@
+// Package steal is a deterministic-output work-stealing executor: the
+// scheduling substrate under sim.RunGrid and the grid coordinator's
+// in-process worker pool.
+//
+// Run deals the indices [0, n) round-robin into one shard per worker. A
+// worker drains its own shard front-to-back — preserving enumeration order
+// within a shard, which keeps cache-friendly adjacency for job lists built
+// in row order — and, once its shard is empty, steals single items from
+// the back of the fullest remaining shard, so a straggler shard's queue is
+// finished by whoever is idle instead of serialising the run.
+//
+// Determinism contract: Run says nothing about *when* or *on which
+// goroutine* fn(i) runs, only that it runs exactly once for every index.
+// Callers that write fn's output into index-aligned storage therefore
+// produce results independent of the worker count and of the steal order;
+// that is how RunGrid keeps reports byte-identical at any parallelism.
+package steal
+
+import "sync"
+
+// shard is one worker's deque. A single mutex per shard is enough: the
+// owner pops from the front, thieves pop from the back, and every item is
+// orders of magnitude cheaper to dequeue than to execute (grid cells are
+// whole simulations).
+type shard struct {
+	mu    sync.Mutex
+	items []int
+}
+
+// popFront removes the oldest item (owner side).
+func (s *shard) popFront() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.items) == 0 {
+		return 0, false
+	}
+	i := s.items[0]
+	s.items = s.items[1:]
+	return i, true
+}
+
+// popBack removes the newest item (thief side), minimising interleaving
+// with the owner's front-to-back drain.
+func (s *shard) popBack() (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.items) == 0 {
+		return 0, false
+	}
+	i := s.items[len(s.items)-1]
+	s.items = s.items[:len(s.items)-1]
+	return i, true
+}
+
+func (s *shard) size() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// Run executes fn(i) exactly once for every i in [0, n), fanning the calls
+// out over `workers` goroutines with per-worker shards and work stealing.
+// workers <= 1 (or n <= 1) runs inline on the calling goroutine. Run
+// returns when every fn call has returned.
+func Run(n, workers int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	shards := make([]*shard, workers)
+	for w := range shards {
+		shards[w] = &shard{}
+	}
+	// Round-robin deal: shard w owns w, w+workers, w+2*workers, ...
+	for i := 0; i < n; i++ {
+		s := shards[i%workers]
+		s.items = append(s.items, i)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(own int) {
+			defer wg.Done()
+			for {
+				if i, ok := shards[own].popFront(); ok {
+					fn(i)
+					continue
+				}
+				// Own shard drained: steal from the fullest victim. A victim
+				// that empties between the size scan and the pop just sends
+				// us around the loop again; when every shard is empty the
+				// scan finds no victim and the worker retires. No new work
+				// is ever added, so this terminates.
+				victim := -1
+				best := 0
+				for v := range shards {
+					if v == own {
+						continue
+					}
+					if sz := shards[v].size(); sz > best {
+						best, victim = sz, v
+					}
+				}
+				if victim < 0 {
+					return
+				}
+				if i, ok := shards[victim].popBack(); ok {
+					fn(i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

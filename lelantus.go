@@ -187,6 +187,14 @@ type GridJob = sim.GridJob
 // with the jobs: the output is byte-identical at any worker count.
 func RunGrid(jobs []GridJob, workers int) ([]Result, error) { return sim.RunGrid(jobs, workers) }
 
+// RunGridErrs is RunGrid with per-cell failure isolation: every job runs
+// (and panics are recovered into that job's error slot), so one broken
+// cell never discards its siblings' results. Both returned slices are
+// index-aligned with jobs.
+func RunGridErrs(jobs []GridJob, workers int) ([]Result, []error) {
+	return sim.RunGridErrs(jobs, workers)
+}
+
 // RecoveryReport summarises one post-crash metadata scrub (torn counter
 // blocks, rebuilt Merkle nodes, CoW-chain invariants, MAC mismatches and
 // the modeled recovery cost).
