@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-json bench-json-timing bench-json-mlp bench-json-prefetch nopanic crash-sweep probe-smoke persist-matrix mlp-smoke prefetch-smoke grid-smoke verify
+.PHONY: all build vet test race bench bench-json bench-json-timing bench-json-mlp bench-json-prefetch nopanic crash-sweep probe-smoke persist-matrix mlp-smoke prefetch-smoke grid-smoke telemetry-smoke verify
 
 all: verify
 
@@ -23,7 +23,7 @@ test:
 # pool; the sim MLP determinism tests drive the pooled page engines and
 # recovery passes multi-worker under the detector.
 race:
-	$(GO) test -race -short ./internal/sim/... ./internal/experiments/... ./internal/faultinject/... ./internal/probe/... ./internal/nvm/... ./internal/issuewin/... ./internal/grid/... ./internal/steal/...
+	$(GO) test -race -short ./internal/sim/... ./internal/experiments/... ./internal/faultinject/... ./internal/probe/... ./internal/nvm/... ./internal/issuewin/... ./internal/grid/... ./internal/steal/... ./internal/metrics/...
 
 # No panic() may be reachable from the public Machine/Controller API:
 # internal-invariant failures surface as typed errors through Run.
@@ -153,4 +153,37 @@ grid-smoke:
 	$(GO) run ./cmd/lelantus-grid resume -dir /tmp/lelantus-grid-smoke -strict -quiet
 	@rm -rf /tmp/lelantus-grid-smoke
 
-verify: build vet nopanic test race crash-sweep persist-matrix probe-smoke mlp-smoke prefetch-smoke grid-smoke
+# Telemetry smoke: the metrics-registry unit tests (zero-alloc disabled
+# path, percentile math, exposition round-trips), the grid telemetry
+# harness tests (mid-run scrape, heartbeat, tail percentiles, profiles,
+# report byte-identity with telemetry on), then a real CLI run serving
+# live telemetry on an ephemeral port: the announced /metrics endpoint is
+# scraped mid-run with curl and the scrape is validated with the built-in
+# exposition checker (`lelantus-grid promcheck`); the final heartbeat
+# must have marked telemetry.json finished, and `status` must render it.
+telemetry-smoke:
+	$(GO) test -count=1 ./internal/metrics
+	$(GO) test -count=1 ./internal/grid -run 'Telemetry|Tail|Profile|PromCheck'
+	@rm -rf /tmp/lelantus-telemetry-smoke
+	$(GO) build -o /tmp/lelantus-telemetry-smoke-bin ./cmd/lelantus-grid
+	@set -e; \
+	/tmp/lelantus-telemetry-smoke-bin run -dir /tmp/lelantus-telemetry-smoke \
+	    -spec quick -region-kb 1024 -tail -telemetry-addr 127.0.0.1:0 \
+	    -heartbeat 250ms -strict -quiet 2> /tmp/lelantus-telemetry-smoke.err & \
+	pid=$$!; url=; \
+	for i in $$(seq 1 100); do \
+	    url=$$(sed -n 's#^lelantus-grid: telemetry on \(http://[^ ]*/metrics\).*#\1#p' /tmp/lelantus-telemetry-smoke.err); \
+	    [ -n "$$url" ] && break; sleep 0.1; \
+	done; \
+	[ -n "$$url" ] || { echo 'telemetry-smoke: telemetry endpoint never announced'; cat /tmp/lelantus-telemetry-smoke.err; kill $$pid 2>/dev/null; exit 1; }; \
+	curl -fsS "$$url" > /tmp/lelantus-telemetry-smoke.prom \
+	    || { echo "telemetry-smoke: mid-run scrape of $$url failed"; kill $$pid 2>/dev/null; exit 1; }; \
+	wait $$pid
+	/tmp/lelantus-telemetry-smoke-bin promcheck /tmp/lelantus-telemetry-smoke.prom
+	@grep -q '"running":false' /tmp/lelantus-telemetry-smoke/telemetry.json \
+	    || (echo 'telemetry-smoke: final heartbeat did not mark telemetry.json finished'; exit 1)
+	/tmp/lelantus-telemetry-smoke-bin status -dir /tmp/lelantus-telemetry-smoke
+	@rm -rf /tmp/lelantus-telemetry-smoke /tmp/lelantus-telemetry-smoke.err \
+	    /tmp/lelantus-telemetry-smoke.prom /tmp/lelantus-telemetry-smoke-bin
+
+verify: build vet nopanic test race crash-sweep persist-matrix probe-smoke mlp-smoke prefetch-smoke grid-smoke telemetry-smoke

@@ -12,6 +12,7 @@ import (
 
 	"lelantus/internal/core"
 	"lelantus/internal/experiments"
+	"lelantus/internal/probe"
 	"lelantus/internal/sim"
 	"lelantus/internal/workload"
 )
@@ -382,6 +383,44 @@ func BenchmarkChainHeavy(b *testing.B) {
 				b.ReportMetric(float64(last.Engine.PrefetchUseful), "pf-useful")
 			})
 		}
+	}
+}
+
+// BenchmarkTailLatency runs forkbench on a probe-attached machine and
+// reports the read/write tail-latency percentiles (simulated nanoseconds,
+// from the log-linear per-class histograms) as ReportMetric columns, so
+// `benchjson -compare -metric read-p99-ns -filter TailLatency` diffs the
+// tail of the latency distribution — the quantity mean-based columns like
+// sim-ns can't see — across committed baselines. Percentiles are
+// simulated-time and deterministic, so the columns are diff-stable.
+func BenchmarkTailLatency(b *testing.B) {
+	script := workload.Forkbench(workload.DefaultForkbench(false))
+	for _, s := range []core.Scheme{core.Lelantus, core.LelantusCoW} {
+		b.Run(s.String(), func(b *testing.B) {
+			var pl *probe.Plane
+			for i := 0; i < b.N; i++ {
+				cfg := sim.DefaultConfig(s)
+				cfg.Mem.MemBytes = 256 << 20
+				cfg.Mem.Core.Fidelity = benchFidelity()
+				cfg.Mem.Core.MLP = benchMLP()
+				cfg.Mem.Core.Prefetch = benchPrefetch()
+				pl = probe.New(probe.Config{RingCap: 1})
+				cfg.Mem.Probe = pl
+				if _, err := sim.RunWith(cfg, script); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rd := pl.Latency(probe.EvRead)
+			wr := pl.Latency(probe.EvWrite)
+			rp := rd.Percentiles(50, 99, 99.9)
+			wp := wr.Percentiles(50, 99, 99.9)
+			b.ReportMetric(float64(rp[0]), "read-p50-ns")
+			b.ReportMetric(float64(rp[1]), "read-p99-ns")
+			b.ReportMetric(float64(rp[2]), "read-p999-ns")
+			b.ReportMetric(float64(wp[0]), "write-p50-ns")
+			b.ReportMetric(float64(wp[1]), "write-p99-ns")
+			b.ReportMetric(float64(wp[2]), "write-p999-ns")
+		})
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime/debug"
 
+	"lelantus/internal/probe"
 	"lelantus/internal/sim"
 )
 
@@ -20,7 +21,22 @@ type CellResult struct {
 	Spec   CellSpec       `json:"spec"`
 	Result *sim.Result    `json:"result,omitempty"`
 	Crash  *sim.CrashCell `json:"crash,omitempty"`
-	Err    string         `json:"error,omitempty"`
+	// Tail is the per-event-class latency percentile table of a Tail cell
+	// (simulated nanoseconds from the cell's probe plane, in probe.Kind
+	// order — deterministic, so safe inside the byte-compared report).
+	Tail []TailClass `json:"tail,omitempty"`
+	Err  string      `json:"error,omitempty"`
+}
+
+// TailClass is one event class's tail-latency row: percentiles extracted
+// from the cell's log-linear latency histogram (~3% bucket resolution).
+type TailClass struct {
+	Class string `json:"class"`
+	Count uint64 `json:"count"`
+	P50   uint64 `json:"p50"`
+	P90   uint64 `json:"p90"`
+	P99   uint64 `json:"p99"`
+	P999  uint64 `json:"p999"`
 }
 
 // failed reports whether the cell ended in an error. A crash cell with
@@ -64,11 +80,26 @@ func RunCell(spec CellSpec) (out CellResult) {
 		out.Crash = &cell
 		return out
 	}
+	var pl *probe.Plane
+	if spec.Tail {
+		// RingCap 1: histograms and totals cover the whole run regardless of
+		// ring size, and the percentile table is all this cell keeps.
+		pl = probe.New(probe.Config{RingCap: 1})
+		cfg.Mem.Probe = pl
+	}
 	res, err := sim.RunWith(cfg, script)
 	if err != nil {
 		out.Err = err.Error()
 		return out
 	}
 	out.Result = &res
+	if pl != nil {
+		for _, e := range pl.Summary().Events {
+			out.Tail = append(out.Tail, TailClass{
+				Class: e.Kind, Count: e.Count,
+				P50: e.P50, P90: e.P90, P99: e.P99, P999: e.P999,
+			})
+		}
+	}
 	return out
 }

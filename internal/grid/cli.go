@@ -6,9 +6,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
+
+	"lelantus/internal/metrics"
 )
 
 // CLIMain is the whole `lelantus-grid` program: cmd/lelantus-grid is a
@@ -28,13 +32,15 @@ func CLIMain(args []string, stdout, stderr io.Writer) int {
 		return cmdResume(args[1:], stdout, stderr)
 	case "status":
 		return cmdStatus(args[1:], stdout, stderr)
+	case "promcheck":
+		return cmdPromCheck(args[1:], stdout, stderr)
 	case "worker":
 		return WorkerMain(os.Stdin, stdout, stderr)
 	case "-h", "-help", "--help", "help":
 		usage(stdout)
 		return 0
 	}
-	fmt.Fprintf(stderr, "lelantus-grid: unknown command %q (want run, resume, status or worker)\n", args[0])
+	fmt.Fprintf(stderr, "lelantus-grid: unknown command %q (want run, resume, status, promcheck or worker)\n", args[0])
 	return 2
 }
 
@@ -44,35 +50,50 @@ func usage(w io.Writer) {
   lelantus-grid run    -dir DIR [axis and runtime flags]   start a grid
   lelantus-grid resume -dir DIR [runtime flags]            continue after a kill
   lelantus-grid status -dir DIR                            progress of a grid
+  lelantus-grid promcheck FILE                             validate a saved /metrics scrape
   lelantus-grid worker                                     (internal) run one cell from stdin
 
 A grid directory holds state.json (atomic checkpoint), results.log
 (append-only checksummed cell results) and report.json (merged report,
 sorted by cell ID — byte-identical for a spec at any worker count and
 across any kill/resume sequence). See README "Running large grids".
+
+Live telemetry (README "Monitoring a grid run"): -telemetry-addr serves
+Prometheus text on /metrics, a JSON snapshot on /status and pprof under
+/debug/pprof/; -heartbeat emits JSON progress lines to stderr and keeps
+telemetry.json fresh next to the checkpoint (read by status). Telemetry
+never changes a reported byte.
 `)
 }
 
 // runtimeOpts binds the coordinator knobs shared by run and resume.
 type runtimeOpts struct {
-	workers *int
-	isolate *bool
-	timeout *time.Duration
-	retries *int
-	backoff *time.Duration
-	strict  *bool
-	quiet   *bool
+	workers       *int
+	isolate       *bool
+	timeout       *time.Duration
+	retries       *int
+	backoff       *time.Duration
+	strict        *bool
+	quiet         *bool
+	telemetryAddr *string
+	heartbeat     *time.Duration
+	cpuprofile    *string
+	memprofile    *string
 }
 
 func addRuntimeFlags(fs *flag.FlagSet) *runtimeOpts {
 	return &runtimeOpts{
-		workers: fs.Int("workers", 0, "in-process worker pool (0 = all CPUs); the report is byte-identical at any setting"),
-		isolate: fs.Bool("isolate", false, "run every cell in a worker subprocess (hard-kills wedged cells, survives per-cell OOM)"),
-		timeout: fs.Duration("timeout", 0, "per-cell wall-clock budget (0 = none), e.g. 90s"),
-		retries: fs.Int("retries", 1, "extra attempts for a failing cell before its failure is recorded"),
-		backoff: fs.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt, capped at 30s)"),
-		strict:  fs.Bool("strict", false, "exit non-zero when any cell ends up failed"),
-		quiet:   fs.Bool("quiet", false, "suppress per-cell progress lines"),
+		workers:       fs.Int("workers", 0, "in-process worker pool (0 = all CPUs); the report is byte-identical at any setting"),
+		isolate:       fs.Bool("isolate", false, "run every cell in a worker subprocess (hard-kills wedged cells, survives per-cell OOM)"),
+		timeout:       fs.Duration("timeout", 0, "per-cell wall-clock budget (0 = none), e.g. 90s"),
+		retries:       fs.Int("retries", 1, "extra attempts for a failing cell before its failure is recorded"),
+		backoff:       fs.Duration("backoff", 100*time.Millisecond, "base retry backoff (doubles per attempt, capped at 30s)"),
+		strict:        fs.Bool("strict", false, "exit non-zero when any cell ends up failed"),
+		quiet:         fs.Bool("quiet", false, "suppress per-cell progress lines"),
+		telemetryAddr: fs.String("telemetry-addr", "", "serve live telemetry over HTTP on this address (e.g. :9090 or 127.0.0.1:0): Prometheus /metrics, JSON /status, /debug/pprof/"),
+		heartbeat:     fs.Duration("heartbeat", 0, "emit one JSON progress line per interval to stderr and rewrite telemetry.json atomically (0 = off), e.g. 10s"),
+		cpuprofile:    fs.String("cpuprofile", "", "write a CPU profile of the whole run to this file"),
+		memprofile:    fs.String("memprofile", "", "write a heap profile (taken after the run) to this file"),
 	}
 }
 
@@ -81,7 +102,7 @@ func (r *runtimeOpts) options(stderr io.Writer) Options {
 	if *r.quiet {
 		logW = nil
 	}
-	return Options{
+	opts := Options{
 		Workers: *r.workers,
 		Isolate: *r.isolate,
 		Timeout: *r.timeout,
@@ -89,6 +110,66 @@ func (r *runtimeOpts) options(stderr io.Writer) Options {
 		Backoff: *r.backoff,
 		Log:     logW,
 	}
+	// Either telemetry surface enables the registry: the heartbeat reports
+	// steal/retry counters, and the HTTP server serves the full set.
+	if *r.telemetryAddr != "" || *r.heartbeat > 0 {
+		opts.Metrics = metrics.NewRegistry()
+	}
+	if *r.heartbeat > 0 {
+		opts.Heartbeat = *r.heartbeat
+		opts.HeartbeatW = stderr
+	}
+	return opts
+}
+
+// startProfiles starts the optional CPU profile and returns a stop closure
+// that finishes it and snapshots the optional heap profile. ok=false means
+// a profile file could not be created (a usage-level problem: exit 1
+// before any grid work starts).
+func startProfiles(cpu, mem string, stderr io.Writer) (stop func(), ok bool) {
+	stopCPU := func() {}
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fmt.Fprintf(stderr, "lelantus-grid: cpuprofile: %v\n", err)
+			return nil, false
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(stderr, "lelantus-grid: cpuprofile: %v\n", err)
+			f.Close()
+			return nil, false
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if mem != "" {
+		// Fail before the run, not after it, when the path is unwritable.
+		f, err := os.Create(mem)
+		if err != nil {
+			stopCPU()
+			fmt.Fprintf(stderr, "lelantus-grid: memprofile: %v\n", err)
+			return nil, false
+		}
+		f.Close()
+	}
+	return func() {
+		stopCPU()
+		if mem == "" {
+			return
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			fmt.Fprintf(stderr, "lelantus-grid: memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialise up-to-date heap statistics
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(stderr, "lelantus-grid: memprofile: %v\n", err)
+		}
+	}, true
 }
 
 func splitCSV(s string) []string {
@@ -163,6 +244,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	regionKB := fs.Uint64("region-kb", 0, "forkbench region override in KiB (0 = default; the smoke-grid knob)")
 	ranks := fs.Int("ranks", 0, "NVM ranks (0 = default 2)")
 	banks := fs.Int("banks", 0, "NVM banks per rank (0 = default 8)")
+	tail := fs.Bool("tail", false, "record per-event-class latency percentiles (p50/p90/p99/p999, simulated time) in every measurement cell's result")
 	rt := addRuntimeFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -221,6 +303,8 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 			spec.Ranks = *ranks
 		case "banks":
 			spec.Banks = *banks
+		case "tail":
+			spec.Tail = *tail
 		}
 		flagErr = err
 	})
@@ -241,7 +325,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		}
 		return 1
 	}
-	return finishRun(coord, *dir, *rt.strict, stdout, stderr)
+	return finishRun(coord, *dir, rt, stdout, stderr)
 }
 
 func cmdResume(args []string, stdout, stderr io.Writer) int {
@@ -257,10 +341,26 @@ func cmdResume(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "lelantus-grid: %v\n", err)
 		return 1
 	}
-	return finishRun(coord, *dir, *rt.strict, stdout, stderr)
+	return finishRun(coord, *dir, rt, stdout, stderr)
 }
 
-func finishRun(coord *Coordinator, dir string, strict bool, stdout, stderr io.Writer) int {
+func finishRun(coord *Coordinator, dir string, rt *runtimeOpts, stdout, stderr io.Writer) int {
+	stopProfiles, ok := startProfiles(*rt.cpuprofile, *rt.memprofile, stderr)
+	if !ok {
+		return 1
+	}
+	defer stopProfiles()
+	if *rt.telemetryAddr != "" {
+		ts, err := StartTelemetry(*rt.telemetryAddr, coord.opts.Metrics, coord.Progress)
+		if err != nil {
+			fmt.Fprintf(stderr, "lelantus-grid: %v\n", err)
+			return 1
+		}
+		defer ts.Close()
+		// Printed before the coordinator starts, so a watcher (or the smoke
+		// test) can attach for the whole run.
+		fmt.Fprintf(stderr, "lelantus-grid: telemetry on http://%s/metrics (JSON /status, pprof /debug/pprof/)\n", ts.Addr())
+	}
 	rep, err := coord.Run()
 	if err != nil {
 		fmt.Fprintf(stderr, "lelantus-grid: %v\n", err)
@@ -271,9 +371,36 @@ func finishRun(coord *Coordinator, dir string, strict bool, stdout, stderr io.Wr
 	for _, f := range rep.Failures {
 		fmt.Fprintf(stdout, "  FAILED %s (%s): %s\n", f.Tag, f.ID, firstLine(f.Err))
 	}
-	if strict && rep.Failed > 0 {
+	if *rt.strict && rep.Failed > 0 {
 		return 1
 	}
+	return 0
+}
+
+// cmdPromCheck validates a saved /metrics scrape with the same structural
+// checker the unit tests use (metrics.ValidatePrometheus), so shell
+// pipelines — `make telemetry-smoke`, CI — can assert a curl'd exposition
+// is well-formed without a Prometheus install.
+func cmdPromCheck(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("lelantus-grid promcheck", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "lelantus-grid: promcheck needs exactly one argument: a saved /metrics scrape")
+		return 2
+	}
+	raw, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "lelantus-grid: %v\n", err)
+		return 1
+	}
+	if err := metrics.ValidatePrometheus(raw); err != nil {
+		fmt.Fprintf(stderr, "lelantus-grid: %s: %v\n", fs.Arg(0), err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "promcheck ok: %s\n", fs.Arg(0))
 	return 0
 }
 
@@ -308,6 +435,19 @@ func cmdStatus(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "grid     %s (spec %s)\n", st.Spec.Name, st.SpecHash)
 	fmt.Fprintf(stdout, "cells    %d/%d done, %d failed, %d pending\n", done, st.Total, failed, st.Total-done)
+	if p, ok := ReadTelemetry(*dir); ok {
+		age := time.Since(time.UnixMilli(p.UnixMs)).Round(time.Second)
+		verb := "finished"
+		if p.Running {
+			verb = "running"
+		}
+		fmt.Fprintf(stdout, "live     %s %s ago: %d/%d done, %d failed, %.2f cells/s",
+			verb, age, p.Done, p.Total, p.Failed, p.CellsPerSec)
+		if p.Running && p.EtaSec > 0 {
+			fmt.Fprintf(stdout, ", ETA %s", (time.Duration(p.EtaSec * float64(time.Second))).Round(time.Second))
+		}
+		fmt.Fprintln(stdout)
+	}
 	switch {
 	case derr != nil:
 		fmt.Fprintf(stdout, "log      %d verified records, torn tail pending re-run (%s)\n", len(recs), firstLine(derr.Error()))

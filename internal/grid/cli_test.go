@@ -2,9 +2,12 @@ package grid
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"lelantus/internal/metrics"
 )
 
 func runCLI(t *testing.T, args ...string) (int, string, string) {
@@ -32,6 +35,10 @@ func TestCLIUsageAndFlagErrors(t *testing.T) {
 		{"bad workload", []string{"run", "-dir", "ignored", "-workloads", "nope"}, 2, "nope"},
 		{"status missing dir", []string{"status", "-dir", "/nonexistent-grid"}, 1, "no checkpoint"},
 		{"resume missing dir", []string{"resume", "-dir", "/nonexistent-grid"}, 1, "no checkpoint"},
+		{"bad heartbeat", []string{"run", "-dir", "x", "-heartbeat", "fast"}, 2, "heartbeat"},
+		{"bad telemetry addr", []string{"run", "-dir", "x", "-telemetry-addr", "not-an-addr:not-a-port"}, 1, "telemetry listen"},
+		{"promcheck no args", []string{"promcheck"}, 2, "promcheck"},
+		{"promcheck missing file", []string{"promcheck", "/nonexistent-scrape.prom"}, 1, "nonexistent-scrape"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -61,6 +68,29 @@ func TestCLIUsageAndFlagErrors(t *testing.T) {
 			}
 			_ = out
 		})
+	}
+}
+
+func TestCLIPromCheck(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("grid_cells_started_total", "cells started").Add(3)
+	reg.Histogram("grid_cell_wall_ns", "cell wall time").Observe(1234)
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	good := filepath.Join(t.TempDir(), "scrape.prom")
+	if err := os.WriteFile(good, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, out, errb := runCLI(t, "promcheck", good); code != 0 || !strings.Contains(out, "promcheck ok") {
+		t.Fatalf("valid scrape: exit %d out %q stderr %q", code, out, errb)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.prom")
+	if err := os.WriteFile(bad, []byte("grid_cells_started_total not-a-number\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, errb := runCLI(t, "promcheck", bad); code != 1 || !strings.Contains(errb, "bad.prom") {
+		t.Fatalf("malformed scrape: exit %d stderr %q, want 1 naming the file", code, errb)
 	}
 }
 

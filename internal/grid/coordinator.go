@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"lelantus/internal/metrics"
 	"lelantus/internal/steal"
 )
 
@@ -41,6 +42,20 @@ type Options struct {
 	// Log receives one progress line per finished cell (nil = silent).
 	Log io.Writer
 
+	// Metrics, when non-nil, receives live coordinator telemetry (cell
+	// counters, steal counts, queue depth, per-cell wall-time histogram).
+	// Telemetry observes wall time and scheduling, so nothing read from the
+	// registry may flow into the report — with or without it, at any worker
+	// count, report.json is byte-identical (pinned by
+	// TestGridReportByteIdenticalWithTelemetry).
+	Metrics *metrics.Registry
+	// Heartbeat > 0 emits one structured-JSON progress line per interval to
+	// HeartbeatW and atomically rewrites telemetry.json in the grid dir.
+	Heartbeat time.Duration
+	// HeartbeatW receives the heartbeat lines (nil = file only; the CLI
+	// passes stderr).
+	HeartbeatW io.Writer
+
 	// cellFn overrides in-process cell execution (package-internal test
 	// seam for retry/backoff/timeout behaviour; nil = RunCell).
 	cellFn func(CellSpec) CellResult
@@ -60,10 +75,14 @@ type Coordinator struct {
 	dir   string
 	opts  Options
 	state *State
+	gm    gridMetrics
 
-	mu   sync.Mutex
-	logF *os.File
-	recs []Record
+	mu          sync.Mutex
+	logF        *os.File
+	recs        []Record
+	runStart    time.Time // when this Run began (zero before Run)
+	doneAtStart int       // cells already finished when this Run began
+	running     bool
 }
 
 // Create initialises a new grid directory: validates the spec, writes the
@@ -95,7 +114,7 @@ func Create(dir string, spec Spec, opts Options) (*Coordinator, error) {
 		return nil, fmt.Errorf("grid: create results log: %w", err)
 	}
 	f.Close()
-	return &Coordinator{dir: dir, opts: opts, state: st}, nil
+	return &Coordinator{dir: dir, opts: opts, state: st, gm: newGridMetrics(opts.Metrics)}, nil
 }
 
 // Open attaches to an existing grid directory for resume/status.
@@ -104,7 +123,7 @@ func Open(dir string, opts Options) (*Coordinator, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Coordinator{dir: dir, opts: opts, state: st}, nil
+	return &Coordinator{dir: dir, opts: opts, state: st, gm: newGridMetrics(opts.Metrics)}, nil
 }
 
 // State returns the coordinator's checkpoint (status reporting).
@@ -163,6 +182,20 @@ func (c *Coordinator) Run() (*Report, error) {
 		}
 	}
 	c.updateProgress()
+	c.mu.Lock()
+	c.runStart = time.Now()
+	c.doneAtStart = c.state.Done
+	c.running = true
+	c.mu.Unlock()
+	c.gm.total.Set(int64(len(cells)))
+	c.gm.queueDepth.Set(int64(len(pending)))
+	stopHeartbeat := c.startHeartbeat()
+	defer func() {
+		c.mu.Lock()
+		c.running = false
+		c.mu.Unlock()
+		stopHeartbeat()
+	}()
 	c.logf("%s: %d cells, %d already finished, %d to run", c.state.Spec.Name, len(cells), len(prior), len(pending))
 
 	if len(pending) > 0 {
@@ -175,8 +208,11 @@ func (c *Coordinator) Run() (*Report, error) {
 			workers = runtime.GOMAXPROCS(0)
 		}
 		var appendErr error
-		steal.Run(len(pending), workers, func(i int) {
+		steal.RunHooked(len(pending), workers, func(i int) {
+			c.gm.started.Inc()
+			cellStart := time.Now()
 			rec := c.runCellWithRetry(pending[i])
+			c.gm.wallNs.Observe(uint64(time.Since(cellStart)))
 			if err := c.append(rec); err != nil {
 				c.mu.Lock()
 				if appendErr == nil {
@@ -184,7 +220,7 @@ func (c *Coordinator) Run() (*Report, error) {
 				}
 				c.mu.Unlock()
 			}
-		})
+		}, steal.Hooks{OnSteal: func(int, int) { c.gm.steals.Inc() }})
 		closeErr := c.logF.Close()
 		c.logF = nil
 		if appendErr != nil {
@@ -196,8 +232,12 @@ func (c *Coordinator) Run() (*Report, error) {
 	}
 
 	rep := BuildReport(c.state, c.recs)
+	// The heartbeat goroutine is still reading these under mu until the
+	// deferred stop runs.
+	c.mu.Lock()
 	c.state.Done = rep.OK + rep.Failed
 	c.state.Failed = rep.Failed
+	c.mu.Unlock()
 	if err := SaveState(c.dir, c.state); err != nil {
 		return nil, err
 	}
@@ -220,6 +260,11 @@ func (c *Coordinator) append(rec Record) error {
 	}
 	c.recs = append(c.recs, rec)
 	c.updateProgressLocked()
+	c.gm.finished.Inc()
+	c.gm.queueDepth.Add(-1)
+	if rec.Cell.failed() {
+		c.gm.failed.Inc()
+	}
 	if err := SaveState(c.dir, c.state); err != nil {
 		return err
 	}
@@ -278,6 +323,7 @@ func (c *Coordinator) runCellWithRetry(spec CellSpec) Record {
 		if wait > maxBackoff || wait <= 0 {
 			wait = maxBackoff
 		}
+		c.gm.retried.Inc()
 		c.logf("cell %s attempt %d failed (%s); retrying in %s", res.Tag, attempt, firstLine(res.Err), wait)
 		time.Sleep(wait)
 	}

@@ -56,6 +56,11 @@ type CellSpec struct {
 	RegionKB uint64 `json:"regionKB,omitempty"`
 	Ranks    int    `json:"ranks,omitempty"`
 	Banks    int    `json:"banks,omitempty"`
+	// Tail attaches a probe plane to measurement cells and records per-
+	// event-class tail-latency percentiles (simulated time, so still
+	// deterministic) in the cell result. omitempty keeps the canonical JSON
+	// — and therefore every pre-existing cell ID — unchanged when off.
+	Tail bool `json:"tail,omitempty"`
 }
 
 // ID is the cell's stable identity: the hex-truncated SHA-256 of the
@@ -204,6 +209,9 @@ type Spec struct {
 	RegionKB      uint64   `json:"regionKB,omitempty"`
 	Ranks         int      `json:"ranks,omitempty"`
 	Banks         int      `json:"banks,omitempty"`
+	// Tail records per-event-class latency percentiles in every
+	// measurement cell's result (see CellSpec.Tail).
+	Tail bool `json:"tail,omitempty"`
 }
 
 func defaultStrings(v []string, def ...string) []string {
@@ -284,6 +292,7 @@ func (s Spec) Cells() []CellSpec {
 											RegionKB:      s.RegionKB,
 											Ranks:         s.Ranks,
 											Banks:         s.Banks,
+											Tail:          s.Tail,
 										})
 									}
 								}

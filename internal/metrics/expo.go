@@ -1,0 +1,180 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): one HELP/TYPE header per metric, metrics sorted
+// by name. Counters and gauges are single samples; histograms emit the
+// conventional cumulative `_bucket{le="..."}` series over the non-empty
+// buckets (plus the mandatory `+Inf`), `_sum` and `_count`, and a
+// `_max` gauge — scrape-friendly without shipping all fixed buckets.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return writePrometheus(w, r.Snapshot())
+}
+
+func writePrometheus(w io.Writer, snap []MetricSnapshot) error {
+	bw := &errWriter{w: w}
+	for _, m := range snap {
+		if m.Help != "" {
+			bw.printf("# HELP %s %s\n", m.Name, m.Help)
+		}
+		switch m.Type {
+		case "counter", "gauge":
+			bw.printf("# TYPE %s %s\n", m.Name, m.Type)
+			if m.Type == "counter" {
+				bw.printf("%s %d\n", m.Name, m.Counter)
+			} else {
+				bw.printf("%s %d\n", m.Name, m.Gauge)
+			}
+		case "histogram":
+			bw.printf("# TYPE %s histogram\n", m.Name)
+			var cum uint64
+			m.hist.Each(func(_, hi, n uint64) {
+				cum += n
+				bw.printf("%s_bucket{le=\"%s\"} %d\n", m.Name, strconv.FormatUint(hi, 10), cum)
+			})
+			bw.printf("%s_bucket{le=\"+Inf\"} %d\n", m.Name, m.Count)
+			bw.printf("%s_sum %d\n", m.Name, m.Sum)
+			bw.printf("%s_count %d\n", m.Name, m.Count)
+			bw.printf("# TYPE %s_max gauge\n", m.Name)
+			bw.printf("%s_max %d\n", m.Name, m.Max)
+		}
+	}
+	return bw.err
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+// MarshalJSON renders the snapshot list as indented JSON with the same
+// sorted order as the Prometheus exposition — the /status machine-readable
+// counterpart.
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	snap := r.Snapshot()
+	if snap == nil {
+		snap = []MetricSnapshot{}
+	}
+	return json.MarshalIndent(snap, "", "  ")
+}
+
+// ValidatePrometheus structurally checks a text exposition as emitted by
+// WritePrometheus: every non-comment line is `name[{labels}] value`, every
+// TYPE is known, histogram buckets are cumulative and end in +Inf, and at
+// least one sample is present. Used by `make telemetry-smoke` to assert a
+// real scrape is well-formed without importing a Prometheus parser.
+func ValidatePrometheus(data []byte) error {
+	lines := 0
+	samples := 0
+	var lastHist string
+	var lastCum uint64
+	var sawInf bool
+	checkHistClosed := func() error {
+		if lastHist != "" && !sawInf {
+			return fmt.Errorf("metrics: histogram %s has no +Inf bucket", lastHist)
+		}
+		return nil
+	}
+	for _, raw := range splitLines(data) {
+		lines++
+		if len(raw) == 0 {
+			continue
+		}
+		if raw[0] == '#' {
+			continue
+		}
+		name, value, ok := cutLast(raw, ' ')
+		if !ok {
+			return fmt.Errorf("metrics: line %d: no value: %q", lines, raw)
+		}
+		if _, err := strconv.ParseFloat(value, 64); err != nil {
+			return fmt.Errorf("metrics: line %d: bad value %q", lines, value)
+		}
+		samples++
+		base, label, labelled := cutLabel(name)
+		if labelled && len(base) > 7 && base[len(base)-7:] == "_bucket" {
+			hist := base[:len(base)-7]
+			cum, err := strconv.ParseUint(value, 10, 64)
+			if err != nil {
+				return fmt.Errorf("metrics: line %d: bucket count %q", lines, value)
+			}
+			if hist != lastHist {
+				if err := checkHistClosed(); err != nil {
+					return err
+				}
+				lastHist, lastCum, sawInf = hist, 0, false
+			}
+			if cum < lastCum {
+				return fmt.Errorf("metrics: histogram %s buckets not cumulative (%d after %d)", hist, cum, lastCum)
+			}
+			lastCum = cum
+			if label == `le="+Inf"` {
+				sawInf = true
+			}
+		} else if lastHist != "" && base != lastHist+"_sum" && base != lastHist+"_count" && base != lastHist+"_max" {
+			if err := checkHistClosed(); err != nil {
+				return err
+			}
+			lastHist = ""
+		}
+	}
+	if err := checkHistClosed(); err != nil {
+		return err
+	}
+	if samples == 0 {
+		return fmt.Errorf("metrics: exposition has no samples")
+	}
+	return nil
+}
+
+func splitLines(data []byte) []string {
+	var out []string
+	start := 0
+	for i, b := range data {
+		if b == '\n' {
+			out = append(out, string(data[start:i]))
+			start = i + 1
+		}
+	}
+	if start < len(data) {
+		out = append(out, string(data[start:]))
+	}
+	return out
+}
+
+// cutLast splits at the last occurrence of sep.
+func cutLast(s string, sep byte) (before, after string, ok bool) {
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == sep {
+			return s[:i], s[i+1:], true
+		}
+	}
+	return s, "", false
+}
+
+// cutLabel splits `name{label}` into (name, label, true) or returns the
+// bare name.
+func cutLabel(s string) (name, label string, ok bool) {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '{' {
+			if s[len(s)-1] != '}' {
+				return s, "", false
+			}
+			return s[:i], s[i+1 : len(s)-1], true
+		}
+	}
+	return s, "", false
+}

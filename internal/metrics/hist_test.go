@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestBucketLayoutContinuous walks the value space and checks the
+// log-linear layout is a partition: indices are monotone non-decreasing,
+// contiguous, and BucketBounds inverts bucketIndex.
+func TestBucketLayoutContinuous(t *testing.T) {
+	prev := -1
+	for v := uint64(0); v < 1<<12; v++ {
+		i := bucketIndex(v)
+		if i != prev && i != prev+1 {
+			t.Fatalf("bucketIndex(%d) = %d after %d: not contiguous", v, i, prev)
+		}
+		prev = i
+		lo, hi := BucketBounds(i)
+		if v < lo || v > hi {
+			t.Fatalf("value %d outside its bucket %d bounds [%d, %d]", v, i, lo, hi)
+		}
+	}
+	// Spot-check the log region at scale and the clamp bucket.
+	for _, v := range []uint64{1 << 20, 1<<30 + 12345, 1<<39 + 7, 1 << 40, 1 << 63, ^uint64(0)} {
+		i := bucketIndex(v)
+		if i < 0 || i >= HistBuckets {
+			t.Fatalf("bucketIndex(%d) = %d out of range", v, i)
+		}
+		lo, hi := BucketBounds(i)
+		if v < lo || v > hi {
+			t.Fatalf("value %d outside bucket %d bounds [%d, %d]", v, i, lo, hi)
+		}
+	}
+	if got := bucketIndex(1 << 40); got != HistBuckets-1 {
+		t.Errorf("2^HistMaxExp bucket = %d, want clamp bucket %d", got, HistBuckets-1)
+	}
+}
+
+// TestHistRelativeError pins the advertised resolution: every bucket above
+// the exact region spans at most a 2^-HistSubBits relative range.
+func TestHistRelativeError(t *testing.T) {
+	for i := histSub; i < HistBuckets-1; i++ {
+		lo, hi := BucketBounds(i)
+		if width := hi - lo + 1; width<<HistSubBits > lo+width {
+			t.Fatalf("bucket %d [%d, %d] wider than 2^-%d relative", i, lo, hi, HistSubBits)
+		}
+	}
+}
+
+// TestPercentileAgainstReference checks Percentile against the exact
+// order statistic of the recorded values: the reported percentile must be
+// >= the true value and within the bucket resolution above it.
+func TestPercentileAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Hist
+	var vals []uint64
+	for i := 0; i < 5000; i++ {
+		// Mixed distribution: a dense body and a heavy tail.
+		v := uint64(rng.Intn(200))
+		if rng.Intn(10) == 0 {
+			v = uint64(rng.Int63n(1 << 30))
+		}
+		h.Observe(v)
+		vals = append(vals, v)
+	}
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	for _, q := range []float64{50, 90, 99, 99.9} {
+		rank := int(float64(len(vals))*q/100 + 0.999999)
+		if rank < 1 {
+			rank = 1
+		}
+		if rank > len(vals) {
+			rank = len(vals)
+		}
+		exact := vals[rank-1]
+		got := h.Percentile(q)
+		if got < exact {
+			t.Errorf("p%g = %d below the exact order statistic %d", q, got, exact)
+		}
+		// Upper bound: the bucket containing `exact` cannot overshoot by
+		// more than its own width (~3% relative, +1 for the exact region).
+		_, hi := BucketBounds(bucketIndex(exact))
+		if got > hi {
+			t.Errorf("p%g = %d beyond its bucket's upper bound %d (exact %d)", q, got, hi, exact)
+		}
+	}
+}
+
+func TestPercentileEdgeCases(t *testing.T) {
+	var h Hist
+	if h.Percentile(99) != 0 {
+		t.Error("empty histogram percentile != 0")
+	}
+	h.Observe(7)
+	for _, q := range []float64{50, 99, 99.9} {
+		if got := h.Percentile(q); got != 7 {
+			t.Errorf("single-value p%g = %d, want 7", q, got)
+		}
+	}
+	// Percentiles never exceed the observed max even in the clamp bucket.
+	h.Observe(1 << 50)
+	if got := h.Percentile(99.9); got != 1<<50 {
+		t.Errorf("clamp-bucket p99.9 = %d, want the observed max", got)
+	}
+	ps := h.Percentiles(50, 90, 99, 99.9)
+	if len(ps) != 4 || ps[0] != 7 || ps[3] != 1<<50 {
+		t.Errorf("Percentiles(50,90,99,99.9) = %v", ps)
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b, whole Hist
+	for i := uint64(0); i < 100; i++ {
+		a.Observe(i)
+		whole.Observe(i)
+	}
+	for i := uint64(1000); i < 1100; i++ {
+		b.Observe(i)
+		whole.Observe(i)
+	}
+	a.Merge(&b)
+	if a != whole {
+		t.Error("merged histogram differs from observing the union")
+	}
+}
+
+func TestHistEachAscending(t *testing.T) {
+	var h Hist
+	for _, v := range []uint64{3, 3, 700, 1 << 22} {
+		h.Observe(v)
+	}
+	var prevHi uint64
+	n := 0
+	h.Each(func(lo, hi, count uint64) {
+		if n > 0 && lo <= prevHi {
+			t.Fatalf("bucket [%d,%d] not after previous hi %d", lo, hi, prevHi)
+		}
+		prevHi = hi
+		n++
+	})
+	if n != 3 {
+		t.Errorf("Each visited %d buckets, want 3", n)
+	}
+}

@@ -6,6 +6,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"lelantus/internal/metrics"
 )
 
 // BucketCount is one non-empty histogram bucket: N values fell in [Lo, Hi].
@@ -24,19 +26,14 @@ type HistSummary struct {
 	Buckets []BucketCount `json:"buckets,omitempty"`
 }
 
-func (h *LogHist) summary() HistSummary {
+func histSummary(h *metrics.Hist) HistSummary {
 	s := HistSummary{Count: h.Count, Sum: h.Sum, Max: h.Max}
-	for i, n := range h.Buckets {
-		if n == 0 {
-			continue
-		}
-		var lo, hi uint64
-		if i > 0 {
-			lo = uint64(1) << (i - 1)
-			hi = uint64(1)<<i - 1
+	h.Each(func(lo, hi, n uint64) {
+		if hi > h.Max {
+			hi = h.Max // the open clamp bucket: bound it by the observed max
 		}
 		s.Buckets = append(s.Buckets, BucketCount{Lo: lo, Hi: hi, N: n})
-	}
+	})
 	return s
 }
 
@@ -55,10 +52,18 @@ func (h *LinHist) summary() HistSummary {
 	return s
 }
 
-// EventClassSummary aggregates one event kind over the run.
+// EventClassSummary aggregates one event kind over the run. The tail
+// percentiles are extracted from the log-linear latency histogram
+// (bucket-resolution accurate, ~3% relative error) and — like everything
+// in this plane — are *simulated*-time quantities, so they are safe to
+// record in deterministic reports.
 type EventClassSummary struct {
 	Kind    string      `json:"kind"`
 	Count   uint64      `json:"count"`
+	P50     uint64      `json:"p50"`
+	P90     uint64      `json:"p90"`
+	P99     uint64      `json:"p99"`
+	P999    uint64      `json:"p999"`
 	Latency HistSummary `json:"latency"`
 }
 
@@ -97,10 +102,15 @@ func (p *Plane) Summary() RunSummary {
 			continue
 		}
 		h := p.lat[k]
+		ps := h.Percentiles(50, 90, 99, 99.9)
 		s.Events = append(s.Events, EventClassSummary{
 			Kind:    k.String(),
 			Count:   p.total[k],
-			Latency: h.summary(),
+			P50:     ps[0],
+			P90:     ps[1],
+			P99:     ps[2],
+			P999:    ps[3],
+			Latency: histSummary(&h),
 		})
 	}
 	s.ChainDepth = p.chain.summary()
@@ -128,14 +138,15 @@ func (s RunSummary) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "probe: %d events recorded, %d retained, %d dropped, last ts %d ns\n",
 		s.Recorded, s.Retained, s.Dropped, s.LastNs)
-	fmt.Fprintf(&b, "%-16s %12s %14s %12s %12s\n", "class", "count", "total-ns", "mean-ns", "max-ns")
+	fmt.Fprintf(&b, "%-16s %12s %14s %10s %10s %10s %10s %10s\n",
+		"class", "count", "total-ns", "mean-ns", "p50-ns", "p99-ns", "p999-ns", "max-ns")
 	for _, e := range s.Events {
 		mean := uint64(0)
 		if e.Latency.Count > 0 {
 			mean = e.Latency.Sum / e.Latency.Count
 		}
-		fmt.Fprintf(&b, "%-16s %12d %14d %12d %12d\n",
-			e.Kind, e.Count, e.Latency.Sum, mean, e.Latency.Max)
+		fmt.Fprintf(&b, "%-16s %12d %14d %10d %10d %10d %10d %10d\n",
+			e.Kind, e.Count, e.Latency.Sum, mean, e.P50, e.P99, e.P999, e.Latency.Max)
 	}
 	writeDist := func(name string, h HistSummary) {
 		if h.Count == 0 {

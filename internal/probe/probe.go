@@ -19,7 +19,7 @@
 // concurrent use; concurrent grid cells each attach their own plane.
 package probe
 
-import "math/bits"
+import "lelantus/internal/metrics"
 
 // Kind classifies one recorded event.
 type Kind uint8
@@ -111,32 +111,11 @@ type Event struct {
 	Arg        uint64
 }
 
-// LogBuckets sizes the log2 latency histograms: bucket i counts values v
-// with bits.Len64(v) == i, i.e. bucket 0 holds v=0 and bucket i (i >= 1)
-// holds [2^(i-1), 2^i - 1]. 40 buckets cover ~9 simulated minutes.
-const LogBuckets = 40
-
-// LogHist is a fixed-bucket base-2 histogram.
-type LogHist struct {
-	Buckets [LogBuckets]uint64
-	Count   uint64
-	Sum     uint64
-	Max     uint64
-}
-
-// Observe records one value.
-func (h *LogHist) Observe(v uint64) {
-	b := bits.Len64(v)
-	if b >= LogBuckets {
-		b = LogBuckets - 1
-	}
-	h.Buckets[b]++
-	h.Count++
-	h.Sum += v
-	if v > h.Max {
-		h.Max = v
-	}
-}
+// Per-kind latency histograms are metrics.Hist — the shared log-linear
+// layout (2^metrics.HistSubBits sub-buckets per octave, ~3% relative
+// error) — so the summary exporter can extract p50/p90/p99/p999 per event
+// class with bucket-resolution accuracy. The old pure-log₂ histograms
+// could only bound a percentile within a factor of two.
 
 // LinBuckets sizes the linear distribution histograms (chain depth, queue
 // occupancy): bucket i counts value i exactly; the last bucket collects
@@ -210,7 +189,7 @@ type Plane struct {
 	dropped uint64
 
 	total [NumKinds]uint64
-	lat   [NumKinds]LogHist
+	lat   [NumKinds]metrics.Hist
 	chain LinHist // redirect-chain hops per ReadLine
 	occ   LinHist // write-queue occupancy observed at each WriteLine
 	mshr  LinHist // MSHR registers busy at each overlapped-leg issue (MLP)
@@ -373,9 +352,9 @@ func (p *Plane) Samples() []Sample {
 }
 
 // Latency returns the latency histogram of one event class.
-func (p *Plane) Latency(k Kind) LogHist {
+func (p *Plane) Latency(k Kind) metrics.Hist {
 	if p == nil {
-		return LogHist{}
+		return metrics.Hist{}
 	}
 	return p.lat[k]
 }

@@ -68,21 +68,38 @@ func TestRingWrap(t *testing.T) {
 	}
 }
 
-func TestLogHistBuckets(t *testing.T) {
-	var h LogHist
-	h.Observe(0)
-	h.Observe(1)
-	h.Observe(2)
-	h.Observe(3)
-	h.Observe(1 << 50) // beyond the bucket range: clamped into the top bucket
-	if h.Buckets[0] != 1 || h.Buckets[1] != 1 || h.Buckets[2] != 2 {
-		t.Errorf("low buckets = %v %v %v, want 1 1 2", h.Buckets[0], h.Buckets[1], h.Buckets[2])
+// TestLatencyPercentilesInSummary pins the tail-latency surfacing: per-kind
+// latencies land in log-linear histograms and the summary exposes
+// p50/p90/p99/p999 per event class, bucket-resolution accurate.
+func TestLatencyPercentilesInSummary(t *testing.T) {
+	p := New(Config{})
+	// 99 reads at 100 ns, one straggler at 10 µs: p50 stays in the body's
+	// bucket, p99/p999 catch the tail.
+	for i := uint64(0); i < 99; i++ {
+		p.Record(EvRead, i*200, i*200+100, 0, 0)
 	}
-	if h.Buckets[LogBuckets-1] != 1 {
-		t.Errorf("top bucket = %d, want 1 (clamp)", h.Buckets[LogBuckets-1])
+	p.Record(EvRead, 20000, 30000, 0, 0)
+	h := p.Latency(EvRead)
+	if h.Count != 100 || h.Max != 10000 {
+		t.Fatalf("latency count=%d max=%d", h.Count, h.Max)
 	}
-	if h.Count != 5 || h.Max != 1<<50 {
-		t.Errorf("count=%d max=%d", h.Count, h.Max)
+	s := p.Summary()
+	if len(s.Events) != 1 {
+		t.Fatalf("%d event classes, want 1", len(s.Events))
+	}
+	e := s.Events[0]
+	// Log-linear resolution: ~3% relative error above the exact region.
+	if e.P50 < 100 || e.P50 > 104 {
+		t.Errorf("p50 = %d, want ~100", e.P50)
+	}
+	if e.P99 < 100 || e.P99 > 104 {
+		t.Errorf("p99 = %d, want ~100 (straggler is the 100th value)", e.P99)
+	}
+	if e.P999 != 10000 {
+		t.Errorf("p999 = %d, want the 10000 ns straggler (clamped to max)", e.P999)
+	}
+	if !strings.Contains(s.String(), "p999-ns") {
+		t.Error("text summary missing percentile columns")
 	}
 }
 

@@ -58,11 +58,27 @@ func (s *shard) size() int {
 	return len(s.items)
 }
 
+// Hooks are optional observation points on the executor. They exist for
+// telemetry: the grid coordinator counts steals on its live metrics page.
+// Hooks observe *scheduling* — the one thing the determinism contract says
+// nothing about — so nothing a hook reports may flow into deterministic
+// output. Hook callbacks may run concurrently from several workers.
+type Hooks struct {
+	// OnSteal fires after worker `thief` takes one item from worker
+	// `victim`'s shard (never fires when the pool runs inline).
+	OnSteal func(thief, victim int)
+}
+
 // Run executes fn(i) exactly once for every i in [0, n), fanning the calls
 // out over `workers` goroutines with per-worker shards and work stealing.
 // workers <= 1 (or n <= 1) runs inline on the calling goroutine. Run
 // returns when every fn call has returned.
 func Run(n, workers int, fn func(i int)) {
+	RunHooked(n, workers, fn, Hooks{})
+}
+
+// RunHooked is Run with observation hooks (see Hooks).
+func RunHooked(n, workers int, fn func(i int), hooks Hooks) {
 	if n <= 0 {
 		return
 	}
@@ -113,6 +129,9 @@ func Run(n, workers int, fn func(i int)) {
 					return
 				}
 				if i, ok := shards[victim].popBack(); ok {
+					if hooks.OnSteal != nil {
+						hooks.OnSteal(own, victim)
+					}
 					fn(i)
 				}
 			}
